@@ -1,0 +1,30 @@
+"""Shared fixtures for the pytest-benchmark harness.
+
+Two kinds of benchmarks live here:
+
+* **artefact benches** (``test_bench_exp1/exp2/...``): run the paper's
+  experiments end-to-end at tiny scale under ``benchmark`` and assert
+  the paper's qualitative shape, printing the projected rows/series;
+* **kernel microbenches** (``test_bench_kernels``): wall-clock numpy
+  kernel measurements (crack, sort, scan, probe) -- the numbers that
+  would calibrate the cost model on *this* machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.loader import generate_uniform_column
+
+
+@pytest.fixture(scope="session")
+def bench_column():
+    """One million uniform ints for kernel microbenches."""
+    return generate_uniform_column("A1", rows=1_000_000, seed=99)
+
+
+@pytest.fixture()
+def bench_values(bench_column) -> np.ndarray:
+    """A fresh writable copy of the bench column's values."""
+    return bench_column.copy_values()

@@ -1,0 +1,44 @@
+"""Bench: Exp1 -- the paper's Figure 3 and Table 2.
+
+Regenerates the single-column experiment end-to-end (four strategies,
+idle windows of X refinements) and prints the projected Table 2 rows.
+The benchmark measures the harness wall time at tiny scale; the
+asserted *shape* is the paper's.
+"""
+
+import pytest
+
+from repro.bench.exp1 import run_exp1, table2_text
+from repro.config import TINY
+
+
+@pytest.mark.benchmark(group="exp1")
+def test_bench_exp1_figure3_table2(benchmark):
+    result = benchmark.pedantic(
+        run_exp1,
+        args=(TINY,),
+        kwargs={"x_values": (10, 100), "seed": 42},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(table2_text(result))
+
+    # Paper shape: Scan > Offline > Adaptive > Holistic, all X.
+    for x in result.x_values:
+        scan = result.run_for("scan", x).total_s
+        offline = result.run_for("offline", x).total_s
+        adaptive = result.run_for("adaptive", x).total_s
+        holistic = result.run_for("holistic", x).total_s
+        assert scan > offline > adaptive > holistic
+    # More idle -> better holistic (Table 2's monotone row).
+    assert (
+        result.run_for("holistic", 100).total_s
+        < result.run_for("holistic", 10).total_s
+    )
+    # Scan dwarfs offline; the gap widens with query count (it is
+    # ~240x at the paper's 10^4 queries, ~5x at tiny's 200).
+    assert (
+        result.run_for("scan", 10).total_s
+        > 3 * result.run_for("offline", 10).total_s
+    )

@@ -1,0 +1,28 @@
+"""Bench: Exp2 -- the paper's Figure 4 (multi-column budget)."""
+
+import pytest
+
+from repro.bench.exp2 import figure4_text, run_exp2
+from repro.config import TINY
+
+
+@pytest.mark.benchmark(group="exp2")
+def test_bench_exp2_figure4(benchmark):
+    result = benchmark.pedantic(
+        run_exp2, args=(TINY,), kwargs={"seed": 42}, iterations=1, rounds=1
+    )
+    print()
+    print(figure4_text(result))
+
+    offline = result.offline_report.cumulative_curve()
+    holistic = result.holistic_report.cumulative_curve()
+    # Paper: offline wins exactly the first (indexed) queries...
+    assert offline[0] < holistic[0]
+    assert offline[1] < holistic[1]
+    # ...then holistic takes over for good.
+    assert holistic[-1] < offline[-1] / 10
+    # The idle budget equals two full sorts by construction.
+    two_sorts = 2 * result.scale.cost_model().sort_seconds(
+        result.scale.rows
+    )
+    assert result.idle_budget_s == pytest.approx(two_sorts)

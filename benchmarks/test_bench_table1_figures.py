@@ -1,0 +1,50 @@
+"""Bench: Table 1 (feature matrix), Figure 1 (timeline), Figure 2
+(cracking walk-through).
+
+These artefacts are cheap to regenerate; benchmarking them keeps one
+harness (`pytest benchmarks/ --benchmark-only`) able to reproduce
+every numbered artefact of the paper.
+"""
+
+import pytest
+
+from repro.bench.cracking_demo import figure2_text
+from repro.bench.features import PAPER_TABLE1, collect_features, table1_text
+from repro.bench.timeline import figure1_text
+from repro.config import TINY
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_feature_matrix(benchmark):
+    rows = benchmark(collect_features)
+    print()
+    print(table1_text())
+    for features in rows:
+        expected = PAPER_TABLE1[features.name]
+        assert (
+            features.statistical_analysis,
+            features.idle_a_priori,
+            features.idle_during_workload,
+            features.incremental_indexing,
+            features.workload,
+        ) == expected
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_bench_figure1_timeline(benchmark):
+    text = benchmark.pedantic(
+        figure1_text, args=(TINY,), kwargs={"seed": 42},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(text)
+    for name in ("offline", "online", "adaptive", "holistic"):
+        assert f"[{name}]" in text
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_bench_figure2_cracking_demo(benchmark):
+    text = benchmark(figure2_text)
+    print()
+    print(text)
+    assert "after Q2" in text

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Sideways cracking: multi-attribute queries without positional joins.
+
+Cracking physically reorders a column, so ``SELECT price WHERE
+timestamp BETWEEN ...`` cannot simply look up prices by position
+afterwards.  Sideways cracking ([13], implemented in
+``repro.cracking.sideways``) maintains *cracker maps* -- aligned
+(head, tail) array pairs that crack together -- so the projection
+comes out as a contiguous view.
+
+The demo compares three ways to answer select-project queries:
+
+1. full scan with positional access (always correct, always slow);
+2. a plain cracker index with row-id tracking (cracker map lookups
+   materialize the projection through scattered reads);
+3. sideways cracker maps (projection is a contiguous view).
+
+Run:  python examples/tuple_reconstruction.py
+"""
+
+import numpy as np
+
+from repro import Database, SimClock, scale_by_name
+from repro.cracking import CrackerIndex, SidewaysCrackerIndex
+from repro.simtime.charge import CostCharge
+from repro.storage import build_paper_table
+
+SCALE = scale_by_name("small")
+QUERIES = 40
+
+
+def main() -> None:
+    db = Database(clock=SimClock(SCALE.cost_model()))
+    db.add_table(build_paper_table(rows=SCALE.rows, columns=2, seed=13))
+    table = db.table("R")
+    head, tail = table.column("A1"), table.column("A2")
+    rng = np.random.default_rng(4)
+    ranges = [
+        (low, low + 1e6)
+        for low in rng.uniform(1, 9.9e7, size=QUERIES)
+    ]
+
+    # -- 1. scan + positional projection ------------------------------
+    clock = SimClock(SCALE.cost_model())
+    checksum_scan = 0
+    for low, high in ranges:
+        mask = (head.values >= low) & (head.values < high)
+        projected = tail.values[mask]
+        clock.charge(
+            CostCharge(
+                elements_scanned=head.row_count,
+                elements_materialized=len(projected),
+            )
+        )
+        checksum_scan += int(projected.sum())
+    scan_s = clock.now()
+
+    # -- 2. cracker index + row-id reconstruction ---------------------
+    clock = SimClock(SCALE.cost_model())
+    index = CrackerIndex(head, clock=clock, track_rowids=True)
+
+    def rowid_batch() -> int:
+        checksum = 0
+        for low, high in ranges:
+            view = index.select_range(low, high)
+            positions = view.positions()
+            projected = tail.values[positions]  # scattered reads
+            clock.charge(
+                CostCharge(
+                    seeks=len(projected),
+                    elements_materialized=len(projected),
+                )
+            )
+            checksum += int(projected.sum())
+        return checksum
+
+    checksum_rowids = rowid_batch()
+    rowid_cold_s = clock.now()
+    rowid_batch()  # the index is refined now: probes + scattered reads
+    rowid_warm_s = clock.now() - rowid_cold_s
+
+    # -- 3. sideways cracker maps --------------------------------------
+    clock = SimClock(SCALE.cost_model())
+    sideways = SidewaysCrackerIndex(table, "A1", clock=clock)
+
+    def sideways_batch() -> int:
+        return sum(
+            int(sideways.select_project(low, high, "A2").values().sum())
+            for low, high in ranges
+        )
+
+    checksum_sideways = sideways_batch()
+    sideways_cold_s = clock.now()
+    sideways_batch()  # pure contiguous views from here on
+    sideways_warm_s = clock.now() - sideways_cold_s
+
+    assert checksum_scan == checksum_rowids == checksum_sideways
+    print(f"{QUERIES} select-project queries, identical results:\n")
+    print(f"{'':32s}{'cold batch':>12s}{'warm batch':>12s}")
+    print(f"  scan + positional projection {scan_s:>12.3f}{scan_s:>12.3f}")
+    print(
+        f"  cracking + row-id lookups    "
+        f"{rowid_cold_s:>12.3f}{rowid_warm_s:>12.3f}"
+    )
+    print(
+        f"  sideways cracker maps        "
+        f"{sideways_cold_s:>12.3f}{sideways_warm_s:>12.3f}"
+    )
+    print(
+        f"\ncold batches tie (cracking dominates); once refined, "
+        f"sideways answers {rowid_warm_s / sideways_warm_s:.0f}x faster "
+        "than row-id reconstruction: the projection never leaves its "
+        "piece, so there are no scattered reads"
+    )
+    sideways.check_invariants()
+
+
+if __name__ == "__main__":
+    main()

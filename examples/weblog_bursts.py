@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The paper's web-log scenario: bursts of queries, stretches of idle.
+
+"In modern applications such as social networks or web logs, we may
+have bursts of queries followed by long stretches of idle time"
+(Section 2).  Adaptive indexing alone leaves those stretches on the
+table; holistic indexing turns them into refinement work.
+
+This example replays a bursty day against *both* strategies on
+identical data and prints the per-burst cost side by side, then shows
+the "no idle time" path: hot-range boosting during a sustained burst.
+
+Run:  python examples/weblog_bursts.py
+"""
+
+import numpy as np
+
+from repro import Database, SimClock, scale_by_name
+from repro.storage import build_paper_table
+from repro.storage.catalog import ColumnRef
+from repro.workload.generators import SkewedRangeGenerator
+
+SCALE = scale_by_name("small")
+
+#: A day of traffic: (burst size, idle seconds until the next burst).
+DAY = [
+    (40, 2.0),   # night crawlers, then quiet
+    (80, 0.5),   # morning spike
+    (120, 1.5),  # lunch-time browsing, long lull
+    (160, 0.0),  # evening rush, no breathing room
+]
+
+
+def run_day(strategy_name: str, **options) -> list[float]:
+    db = Database(clock=SimClock(SCALE.cost_model()))
+    db.add_table(build_paper_table(rows=SCALE.rows, columns=2, seed=23))
+    session = db.session(strategy_name, **options)
+    generator = SkewedRangeGenerator(
+        ColumnRef("R", "A1"),
+        1,
+        100_000_000,
+        selectivity=0.01,
+        regions=50,
+        exponent=1.6,
+        seed=5,
+    )
+    burst_costs = []
+    for burst_size, idle_after in DAY:
+        before = session.report.total_response_s
+        for query in generator.queries(burst_size):
+            session.run_query(query)
+        burst_costs.append(session.report.total_response_s - before)
+        if idle_after > 0:
+            session.idle(seconds=idle_after)
+    return burst_costs
+
+
+def main() -> None:
+    adaptive = run_day("adaptive")
+    holistic = run_day("holistic")
+    boosted = run_day(
+        "holistic", hot_column_threshold=20, hot_boost_cracks=2
+    )
+
+    print("per-burst response time (projected seconds):")
+    print(
+        f"{'burst':>6} {'queries':>8} {'adaptive':>10} "
+        f"{'holistic':>10} {'holistic+boost':>15}"
+    )
+    for i, (size, _idle) in enumerate(DAY):
+        print(
+            f"{i + 1:>6} {size:>8} {adaptive[i]:>10.3f} "
+            f"{holistic[i]:>10.3f} {boosted[i]:>15.3f}"
+        )
+    print(
+        f"{'total':>6} {sum(s for s, _ in DAY):>8} "
+        f"{sum(adaptive):>10.3f} {sum(holistic):>10.3f} "
+        f"{sum(boosted):>15.3f}"
+    )
+    saved = sum(adaptive) - sum(holistic)
+    print(
+        f"\nidle-time exploitation saved {saved:.3f} s of query "
+        "response time over the day"
+    )
+    print(
+        "the boosted kernel additionally cracks hot ranges during "
+        "the evening rush, when no idle time exists at all -- the "
+        "boost work is charged to query processing, so it trades a "
+        "little response time now for refinement that idle time "
+        "never got a chance to provide"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has no `wheel` package, so PEP 517 editable
+installs cannot build; this shim lets `pip install -e .` fall back to
+the legacy `setup.py develop` path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

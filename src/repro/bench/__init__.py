@@ -1,0 +1,55 @@
+"""Bench harness: regenerates every table and figure of the paper.
+
+See DESIGN.md §5 for the experiment index.  Each artefact has a
+dedicated module and a CLI entry (``python -m repro.bench <command>``).
+"""
+
+from repro.bench.ablations import (
+    AblationRow,
+    ablation_cache_target,
+    ablation_policies,
+    ablation_stochastic,
+    ablation_text,
+)
+from repro.bench.cracking_demo import figure2_text
+from repro.bench.exp1 import (
+    EXP1_STRATEGIES,
+    PAPER_X_VALUES,
+    Exp1Result,
+    StrategyRun,
+    figure3_text,
+    run_exp1,
+    table2_rows,
+    table2_text,
+)
+from repro.bench.exp2 import Exp2Result, figure4_text, run_exp2
+from repro.bench.features import (
+    PAPER_TABLE1,
+    collect_features,
+    table1_text,
+)
+from repro.bench.timeline import figure1_text
+
+__all__ = [
+    "AblationRow",
+    "EXP1_STRATEGIES",
+    "Exp1Result",
+    "Exp2Result",
+    "PAPER_TABLE1",
+    "PAPER_X_VALUES",
+    "StrategyRun",
+    "ablation_cache_target",
+    "ablation_policies",
+    "ablation_stochastic",
+    "ablation_text",
+    "collect_features",
+    "figure1_text",
+    "figure2_text",
+    "figure3_text",
+    "figure4_text",
+    "run_exp1",
+    "run_exp2",
+    "table1_text",
+    "table2_rows",
+    "table2_text",
+]

@@ -1,0 +1,96 @@
+"""CSV export of bench results.
+
+The paper's figures are log-log gnuplot charts; this module writes the
+regenerated series in a plotting-friendly CSV layout (one row per
+query rank, one column per strategy) plus the Table 2 rows, so any
+plotting tool can redraw Figure 3/4 from the data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.bench.exp1 import EXP1_STRATEGIES, Exp1Result
+from repro.bench.exp2 import Exp2Result
+from repro.errors import BenchmarkError
+
+
+def _ensure_dir(directory: str | Path) -> Path:
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    if not path.is_dir():
+        raise BenchmarkError(f"{path} is not a directory")
+    return path
+
+
+def export_exp1_csv(
+    result: Exp1Result, directory: str | Path
+) -> list[Path]:
+    """Write one ``figure3_x{X}.csv`` per panel plus ``table2.csv``.
+
+    Returns the written paths.
+    """
+    directory = _ensure_dir(directory)
+    written: list[Path] = []
+    for x in result.x_values:
+        path = directory / f"figure3_x{x}.csv"
+        curves = {
+            strategy: result.run_for(strategy, x).curve
+            for strategy in EXP1_STRATEGIES
+        }
+        length = min(len(c) for c in curves.values())
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["query", *EXP1_STRATEGIES])
+            for rank in range(length):
+                writer.writerow(
+                    [
+                        rank + 1,
+                        *(
+                            f"{curves[s][rank]:.9g}"
+                            for s in EXP1_STRATEGIES
+                        ),
+                    ]
+                )
+        written.append(path)
+
+    table_path = directory / "table2.csv"
+    with table_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["indexing", *[f"x{x}_total_s" for x in result.x_values]]
+        )
+        for strategy in EXP1_STRATEGIES:
+            writer.writerow(
+                [
+                    strategy,
+                    *(
+                        f"{result.run_for(strategy, x).total_s:.6g}"
+                        for x in result.x_values
+                    ),
+                ]
+            )
+    written.append(table_path)
+    return written
+
+
+def export_exp2_csv(result: Exp2Result, directory: str | Path) -> Path:
+    """Write ``figure4.csv`` (offline vs holistic cumulative curves)."""
+    directory = _ensure_dir(directory)
+    path = directory / "figure4.csv"
+    offline = result.offline_report.cumulative_curve()
+    holistic = result.holistic_report.cumulative_curve()
+    length = min(len(offline), len(holistic))
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["query", "offline", "holistic"])
+        for rank in range(length):
+            writer.writerow(
+                [
+                    rank + 1,
+                    f"{offline[rank]:.9g}",
+                    f"{holistic[rank]:.9g}",
+                ]
+            )
+    return path

@@ -1,0 +1,96 @@
+"""Report rendering for the bench harness.
+
+The harness prints the same rows and series the paper reports: Table
+2's total-time rows, Figure 3/4's cumulative-response series (sampled
+at log-spaced query ranks, matching the paper's log-log axes), and
+Table 1's feature matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly seconds with sensible precision."""
+    if seconds >= 100:
+        return f"{seconds:.0f} s"
+    if seconds >= 1:
+        return f"{seconds:.1f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([str(value) for value in row])
+    widths = [
+        max(len(line[i]) for line in cells) for i in range(len(headers))
+    ]
+
+    def render_row(line: list[str]) -> str:
+        return "  ".join(
+            value.rjust(widths[i]) for i, value in enumerate(line)
+        )
+
+    out = [render_row(cells[0])]
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(render_row(line) for line in cells[1:])
+    return "\n".join(out)
+
+
+def log_spaced_ranks(n: int, per_decade: int = 9) -> list[int]:
+    """Query ranks sampled like the paper's log x-axis: 1, 2, ... 10,
+    20, ... 100, 200, ..., always including the final rank ``n``."""
+    ranks: list[int] = []
+    decade = 1
+    while decade <= n:
+        step = max(1, decade)
+        for k in range(1, per_decade + 1):
+            rank = k * step
+            if rank > n:
+                break
+            if not ranks or rank > ranks[-1]:
+                ranks.append(rank)
+        decade *= 10
+    if not ranks or ranks[-1] != n:
+        ranks.append(n)
+    return ranks
+
+
+def curve_at_ranks(
+    curve: Sequence[float], ranks: Sequence[int]
+) -> list[float]:
+    """Sample a cumulative curve (1-indexed ranks) at given ranks."""
+    return [curve[rank - 1] for rank in ranks if rank <= len(curve)]
+
+
+def format_series_table(
+    title: str,
+    ranks: Sequence[int],
+    series: dict[str, Sequence[float]],
+    unit: str = "s",
+) -> str:
+    """A figure as a table: one row per sampled rank, one column per
+    strategy, cumulative values in ``unit``."""
+    headers = ["query", *series.keys()]
+    rows: list[list[object]] = []
+    for i, rank in enumerate(ranks):
+        row: list[object] = [rank]
+        for values in series.values():
+            if i < len(values):
+                row.append(f"{values[i]:.6g}")
+            else:
+                row.append("-")
+        rows.append(row)
+    body = format_table(headers, rows)
+    return f"{title}  (cumulative response time, {unit})\n{body}"
+
+
+def check_mark(flag: bool) -> str:
+    return "yes" if flag else "no"

@@ -1,0 +1,161 @@
+"""Command-line entry point of the bench harness.
+
+Usage::
+
+    python -m repro.bench exp1 --scale small --x 10 100 1000
+    python -m repro.bench table2
+    python -m repro.bench exp2
+    python -m repro.bench table1
+    python -m repro.bench figure1
+    python -m repro.bench figure2
+    python -m repro.bench ablation-policies
+    python -m repro.bench ablation-stochastic
+    python -m repro.bench ablation-cache
+    python -m repro.bench ablation-batch
+    python -m repro.bench all
+
+Every command prints the rows/series of the corresponding paper
+artefact, with costs projected to the paper's 10^8-row testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config import available_scales, scale_by_name
+from repro.bench.ablations import (
+    ablation_batch_tuning,
+    ablation_cache_target,
+    ablation_policies,
+    ablation_stochastic,
+    ablation_text,
+)
+from repro.bench.cracking_demo import figure2_text
+from repro.bench.exp1 import PAPER_X_VALUES, figure3_text, run_exp1, table2_text
+from repro.bench.exp2 import figure4_text, run_exp2
+from repro.bench.features import table1_text
+from repro.bench.timeline import figure1_text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the tables and figures of 'Holistic Indexing' "
+            "(SIGMOD 2012)"
+        ),
+    )
+    parser.add_argument(
+        "command",
+        choices=[
+            "exp1",
+            "table2",
+            "exp2",
+            "table1",
+            "figure1",
+            "figure2",
+            "ablation-policies",
+            "ablation-stochastic",
+            "ablation-cache",
+            "ablation-batch",
+            "all",
+        ],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=available_scales(),
+        help="experiment scale (default: small)",
+    )
+    parser.add_argument(
+        "--x",
+        type=int,
+        nargs="+",
+        default=list(PAPER_X_VALUES),
+        help="refinement actions per idle window (default: 10 100 1000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="experiment seed"
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write exp1/exp2 series as CSV into this directory",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    scale = scale_by_name(args.scale)
+    outputs: list[str] = []
+
+    def want(name: str) -> bool:
+        return args.command in (name, "all")
+
+    if want("exp1") or want("table2"):
+        result = run_exp1(scale, tuple(args.x), seed=args.seed)
+        if want("exp1"):
+            outputs.append(figure3_text(result))
+        if want("table2"):
+            outputs.append(table2_text(result))
+        if args.csv_dir:
+            from repro.bench.export import export_exp1_csv
+
+            written = export_exp1_csv(result, args.csv_dir)
+            outputs.append(
+                "wrote " + ", ".join(str(p) for p in written)
+            )
+    if want("exp2"):
+        exp2_result = run_exp2(scale, seed=args.seed)
+        outputs.append(figure4_text(exp2_result))
+        if args.csv_dir:
+            from repro.bench.export import export_exp2_csv
+
+            path = export_exp2_csv(exp2_result, args.csv_dir)
+            outputs.append(f"wrote {path}")
+    if want("table1"):
+        outputs.append(table1_text())
+    if want("figure1"):
+        outputs.append(figure1_text(seed=args.seed))
+    if want("figure2"):
+        outputs.append(figure2_text())
+    if want("ablation-policies"):
+        outputs.append(
+            ablation_text(
+                "Ablation A1: resource-spreading policies "
+                f"({scale.name} scale)",
+                ablation_policies(scale, seed=args.seed),
+            )
+        )
+    if want("ablation-stochastic"):
+        outputs.append(
+            ablation_text(
+                "Ablation A2: plain vs stochastic cracking on a "
+                f"sequential sweep ({scale.name} scale)",
+                ablation_stochastic(scale, seed=args.seed),
+            )
+        )
+    if want("ablation-batch"):
+        outputs.append(
+            ablation_text(
+                "Ablation A4: sequential vs batched idle tuning "
+                f"({scale.name} scale)",
+                ablation_batch_tuning(scale, seed=args.seed),
+            )
+        )
+    if want("ablation-cache"):
+        outputs.append(
+            ablation_text(
+                "Ablation A3: cache-fit stopping criterion "
+                f"({scale.name} scale)",
+                ablation_cache_target(scale, seed=args.seed),
+            )
+        )
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

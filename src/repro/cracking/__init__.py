@@ -1,0 +1,58 @@
+"""Adaptive indexing substrate: database cracking and its extensions.
+
+Reproduces the MonetDB cracking module the paper builds on [12], plus
+the cited extensions that define the adaptive-indexing design space:
+stochastic cracking [10], hybrid crack-sort (adaptive merging) [14],
+update merging [11] and piece-level concurrency control [7].
+"""
+
+from repro.cracking.concurrency import (
+    ClientQuery,
+    ConcurrentCrackScheduler,
+    LatchMode,
+    PieceLatchManager,
+    ScheduleReport,
+)
+from repro.cracking.engine import (
+    crack_in_three,
+    crack_in_two,
+    sort_piece,
+    split_sorted_piece,
+)
+from repro.cracking.hybrid import HybridCrackSortIndex, merge_sorted_into
+from repro.cracking.index import CrackerIndex
+from repro.cracking.piece import CrackOrigin, Piece
+from repro.cracking.piecemap import PieceMap
+from repro.cracking.sideways import SidewaysCrackerIndex
+from repro.cracking.stochastic import StochasticCrackerIndex
+from repro.cracking.tape import CrackTape, TapeRecord
+from repro.cracking.updates import (
+    MaintainedCrackerIndex,
+    merge_deletes,
+    merge_inserts,
+)
+
+__all__ = [
+    "ClientQuery",
+    "ConcurrentCrackScheduler",
+    "CrackOrigin",
+    "CrackTape",
+    "CrackerIndex",
+    "HybridCrackSortIndex",
+    "LatchMode",
+    "MaintainedCrackerIndex",
+    "Piece",
+    "PieceLatchManager",
+    "PieceMap",
+    "ScheduleReport",
+    "SidewaysCrackerIndex",
+    "StochasticCrackerIndex",
+    "TapeRecord",
+    "crack_in_three",
+    "crack_in_two",
+    "merge_deletes",
+    "merge_inserts",
+    "merge_sorted_into",
+    "sort_piece",
+    "split_sorted_piece",
+]

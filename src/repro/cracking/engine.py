@@ -1,0 +1,215 @@
+"""Crack kernels: in-place partitioning of numpy arrays.
+
+These are the physical operators behind database cracking [12]:
+``crack_in_two`` partitions a piece around one pivot (elements < pivot
+first), ``crack_in_three`` around a closed-open range (used when both
+query bounds fall into the same piece, saving one pass).  Both can
+permute an aligned row-id array (the cracker map of sideways cracking
+[13]) so tuple reconstruction stays possible after cracking.
+
+The kernels return the split position(s) plus a :class:`CostCharge`
+counting every element touched, which the clock prices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CrackerError
+from repro.simtime.charge import CostCharge
+
+
+def _check_bounds(array: np.ndarray, start: int, end: int) -> None:
+    if not 0 <= start <= end <= len(array):
+        raise CrackerError(
+            f"piece bounds [{start}, {end}) invalid for array of "
+            f"{len(array)} rows"
+        )
+
+
+def crack_in_two(
+    array: np.ndarray,
+    start: int,
+    end: int,
+    pivot: float,
+    rowids: np.ndarray | None = None,
+) -> tuple[int, CostCharge]:
+    """Partition ``array[start:end]`` so values < pivot come first.
+
+    Returns:
+        ``(split, charge)`` -- ``split`` is the absolute position of the
+        first element ``>= pivot`` after partitioning.
+
+    Raises:
+        CrackerError: on invalid bounds or misaligned row ids.
+    """
+    _check_bounds(array, start, end)
+    if rowids is not None and len(rowids) != len(array):
+        raise CrackerError("row-id array must align with the value array")
+    size = end - start
+    if size == 0:
+        return start, CostCharge(cracks=1)
+    view = array[start:end]
+    mask = view < pivot
+    n_left = int(np.count_nonzero(mask))
+    if 0 < n_left < size:
+        left = view[mask]
+        right = view[~mask]
+        view[:n_left] = left
+        view[n_left:] = right
+        if rowids is not None:
+            rview = rowids[start:end]
+            rleft = rview[mask]
+            rright = rview[~mask]
+            rview[:n_left] = rleft
+            rview[n_left:] = rright
+    charge = CostCharge.for_crack(size)
+    return start + n_left, charge
+
+
+def crack_in_three(
+    array: np.ndarray,
+    start: int,
+    end: int,
+    low: float,
+    high: float,
+    rowids: np.ndarray | None = None,
+) -> tuple[int, int, CostCharge]:
+    """Partition ``array[start:end]`` into ``< low | [low, high) | >= high``.
+
+    Returns:
+        ``(split_low, split_high, charge)`` -- absolute positions of the
+        first element ``>= low`` and the first ``>= high``.
+
+    Raises:
+        CrackerError: if ``low > high`` or bounds are invalid.
+    """
+    _check_bounds(array, start, end)
+    if low > high:
+        raise CrackerError(f"crack range inverted: low={low} > high={high}")
+    if rowids is not None and len(rowids) != len(array):
+        raise CrackerError("row-id array must align with the value array")
+    size = end - start
+    if size == 0:
+        return start, start, CostCharge(cracks=2)
+    view = array[start:end]
+    mask_lo = view < low
+    mask_hi = view >= high
+    mask_mid = ~(mask_lo | mask_hi)
+    n_lo = int(np.count_nonzero(mask_lo))
+    n_mid = int(np.count_nonzero(mask_mid))
+    lo_part = view[mask_lo]
+    mid_part = view[mask_mid]
+    hi_part = view[mask_hi]
+    view[:n_lo] = lo_part
+    view[n_lo : n_lo + n_mid] = mid_part
+    view[n_lo + n_mid :] = hi_part
+    if rowids is not None:
+        rview = rowids[start:end]
+        rlo = rview[mask_lo]
+        rmid = rview[mask_mid]
+        rhi = rview[mask_hi]
+        rview[:n_lo] = rlo
+        rview[n_lo : n_lo + n_mid] = rmid
+        rview[n_lo + n_mid :] = rhi
+    charge = CostCharge(elements_cracked=size, pieces_touched=1, cracks=2)
+    return start + n_lo, start + n_lo + n_mid, charge
+
+
+def crack_multi(
+    array: np.ndarray,
+    start: int,
+    end: int,
+    pivots: list[float],
+    rowids: np.ndarray | None = None,
+) -> tuple[list[int], CostCharge]:
+    """Partition ``array[start:end]`` around many pivots in one go.
+
+    The batch optimization the paper's §3 asks for ("apply multiple
+    tuning actions in one go over a single index"): a counting
+    partition classifies every element once and scatters it once, so k
+    pivots cost two passes instead of k shrinking crack passes.
+
+    Returns:
+        ``(splits, charge)`` -- ``splits[i]`` is the absolute position
+        of the first element ``>= pivots[i]``.
+
+    Raises:
+        CrackerError: if bounds are invalid, pivots are not strictly
+            increasing, or row ids are misaligned.
+    """
+    _check_bounds(array, start, end)
+    if not pivots:
+        return [], CostCharge()
+    if any(a >= b for a, b in zip(pivots, pivots[1:])):
+        raise CrackerError(
+            f"pivots must be strictly increasing: {pivots}"
+        )
+    if rowids is not None and len(rowids) != len(array):
+        raise CrackerError("row-id array must align with the value array")
+    size = end - start
+    charge = CostCharge(
+        elements_cracked=2 * size,  # classify pass + scatter pass
+        pieces_touched=1,
+        cracks=len(pivots),
+    )
+    if size == 0:
+        return [start] * len(pivots), charge
+    view = array[start:end]
+    keys = np.asarray(pivots, dtype=np.float64)
+    bins = np.searchsorted(keys, view, side="right")
+    order = np.argsort(bins, kind="stable")
+    view[:] = view[order]
+    if rowids is not None:
+        rview = rowids[start:end]
+        rview[:] = rview[order]
+    counts = np.bincount(bins, minlength=len(pivots) + 1)
+    boundaries = start + np.cumsum(counts[:-1])
+    return [int(b) for b in boundaries], charge
+
+
+def sort_piece(
+    array: np.ndarray,
+    start: int,
+    end: int,
+    rowids: np.ndarray | None = None,
+) -> CostCharge:
+    """Fully sort ``array[start:end]`` in place.
+
+    Used by refinement actions that finish small pieces off, and by the
+    hybrid crack-sort strategy.  Charged as a sort of ``end - start``
+    elements.
+
+    Raises:
+        CrackerError: on invalid bounds or misaligned row ids.
+    """
+    _check_bounds(array, start, end)
+    if rowids is not None and len(rowids) != len(array):
+        raise CrackerError("row-id array must align with the value array")
+    size = end - start
+    if size <= 1:
+        return CostCharge(elements_sorted=size)
+    if rowids is None:
+        array[start:end].sort(kind="quicksort")
+    else:
+        order = np.argsort(array[start:end], kind="stable")
+        array[start:end] = array[start:end][order]
+        rowids[start:end] = rowids[start:end][order]
+    return CostCharge(elements_sorted=size, pieces_touched=1)
+
+
+def split_sorted_piece(
+    array: np.ndarray, start: int, end: int, pivot: float
+) -> tuple[int, CostCharge]:
+    """Find the crack position inside an already-sorted piece.
+
+    No data moves: a binary search locates the first element
+    ``>= pivot``.
+
+    Raises:
+        CrackerError: on invalid bounds.
+    """
+    _check_bounds(array, start, end)
+    offset = int(np.searchsorted(array[start:end], pivot, side="left"))
+    charge = CostCharge.for_binary_search(max(1, end - start))
+    return start + offset, charge

@@ -1,0 +1,388 @@
+"""The cracker index: a self-organizing partial index on one column.
+
+This reproduces MonetDB's database-cracking module [12], the substrate
+the paper's holistic prototype was hand-tuned from.  The index owns a
+physical copy of the column (the *cracker column*), an optional aligned
+row-id array (the cracker map, enabling tuple reconstruction as in
+sideways cracking [13]), and a :class:`PieceMap` of crack boundaries.
+
+Range selects crack the pieces containing the query bounds and return a
+contiguous :class:`RangeView` -- each query refines the index a little,
+each refinement is priced through the shared clock and logged on the
+:class:`CrackTape`.
+
+Auxiliary refinements -- the extra, non-query-driven cracks holistic
+indexing injects during idle time -- use the same machinery with
+``CrackOrigin.TUNING``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cracking.engine import (
+    crack_in_three,
+    crack_in_two,
+    crack_multi,
+    sort_piece,
+    split_sorted_piece,
+)
+from repro.cracking.piece import CrackOrigin, Piece
+from repro.cracking.piecemap import PieceMap
+from repro.cracking.tape import CrackTape
+from repro.errors import CrackerError, QueryError
+from repro.simtime.charge import CostCharge
+from repro.simtime.clock import Clock, SimClock
+from repro.storage.column import Column
+from repro.storage.views import RangeView
+
+
+class CrackerIndex:
+    """A cracked copy of one column, refined by queries and tuning.
+
+    Args:
+        column: the base column to index.
+        clock: time source charged for every refinement; defaults to a
+            private :class:`SimClock` (useful for unit tests).
+        track_rowids: maintain the cracker map (base positions aligned
+            with cracked values) for tuple reconstruction.
+        tape: refinement log to append to; a fresh one by default.
+        copy_on_first_touch: when True (default, MonetDB behaviour) the
+            cost of copying the base column is charged to the first
+            refinement instead of index creation.
+    """
+
+    def __init__(
+        self,
+        column: Column,
+        clock: Clock | None = None,
+        track_rowids: bool = False,
+        tape: CrackTape | None = None,
+        copy_on_first_touch: bool = True,
+    ) -> None:
+        self.column = column
+        self.clock: Clock = clock if clock is not None else SimClock()
+        self._array = column.copy_values()
+        self._rowids = (
+            np.arange(column.row_count, dtype=np.int64)
+            if track_rowids
+            else None
+        )
+        self._pieces = PieceMap(column.row_count)
+        self.tape = tape if tape is not None else CrackTape()
+        self._copy_charged = not copy_on_first_touch
+        if not copy_on_first_touch and column.row_count:
+            self.clock.charge(
+                CostCharge(elements_materialized=column.row_count)
+            )
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The cracker column (range-partitioned values)."""
+        return self._array
+
+    @property
+    def rowids(self) -> np.ndarray | None:
+        """The cracker map, if row ids are tracked."""
+        return self._rowids
+
+    @property
+    def piece_map(self) -> PieceMap:
+        return self._pieces
+
+    @property
+    def row_count(self) -> int:
+        return len(self._array)
+
+    @property
+    def piece_count(self) -> int:
+        return self._pieces.piece_count
+
+    @property
+    def crack_count(self) -> int:
+        return self._pieces.crack_count
+
+    def average_piece_size(self) -> float:
+        return self._pieces.average_piece_size()
+
+    def max_piece_size(self) -> int:
+        return self._pieces.max_piece_size()
+
+    def is_refined_to(self, target_piece_size: int) -> bool:
+        """True when every piece is at most ``target_piece_size`` rows.
+
+        The paper's stopping criterion: once pieces fit in the CPU
+        cache, further refinement stops paying off.
+        """
+        return self.max_piece_size() <= max(1, target_piece_size)
+
+    def remaining_cracks_estimate(self, target_piece_size: int) -> float:
+        """Estimated refinements still useful before cache-fit.
+
+        Splitting halves the average piece, so the distance from
+        optimal is ~``pieces * log2(avg / target)`` -- the quantity the
+        holistic ranking scheme keeps per column (paper §3, Modeling).
+        """
+        target = max(1, target_piece_size)
+        avg = self.average_piece_size()
+        if avg <= target:
+            return 0.0
+        return self.piece_count * math.log2(avg / target)
+
+    # -- core refinement -----------------------------------------------
+
+    def _charge_copy_if_needed(self) -> None:
+        if self._copy_charged:
+            return
+        self._copy_charged = True
+        if self.row_count:
+            self.clock.charge(
+                CostCharge(elements_materialized=self.row_count)
+            )
+
+    def ensure_cut(
+        self, value: float, origin: CrackOrigin = CrackOrigin.QUERY
+    ) -> int:
+        """Crack at ``value`` if needed; return its cut position.
+
+        The position is that of the first element ``>= value`` in the
+        cracker column.  Existing pivots are located with a piece-map
+        lookup only.
+        """
+        if self._pieces.has_pivot(value):
+            self.clock.charge(
+                CostCharge.for_binary_search(self.piece_count)
+            )
+            return self._pieces.position_of_pivot(value)
+        self._charge_copy_if_needed()
+        index = self._pieces.piece_index_for_value(value)
+        piece = self._pieces.piece_at_index(index)
+        if piece.is_sorted:
+            position, charge = split_sorted_piece(
+                self._array, piece.start, piece.end, value
+            )
+        else:
+            position, charge = crack_in_two(
+                self._array, piece.start, piece.end, value, self._rowids
+            )
+        self._pieces.add_crack(value, position)
+        self.clock.charge(charge)
+        self.tape.record(
+            self.clock.now(), origin, value, position, piece.size
+        )
+        return position
+
+    def ensure_cuts(
+        self,
+        values: list[float],
+        origin: CrackOrigin = CrackOrigin.TUNING,
+    ) -> list[int]:
+        """Crack at many values in one go (paper §3's batch question).
+
+        New pivots are grouped by containing piece; pieces receiving
+        two or more get a single counting-partition pass
+        (:func:`crack_multi`) instead of sequential shrinking cracks.
+        Returns the cut position of every requested value, in input
+        order.
+        """
+        positions: dict[float, int] = {}
+        fresh: list[float] = []
+        for value in values:
+            if self._pieces.has_pivot(value):
+                positions[value] = self._pieces.position_of_pivot(value)
+            elif value not in positions:
+                positions[value] = -1
+                fresh.append(value)
+        if fresh:
+            self._charge_copy_if_needed()
+            fresh.sort()
+            by_piece: dict[int, list[float]] = {}
+            for value in fresh:
+                index = self._pieces.piece_index_for_value(value)
+                by_piece.setdefault(index, []).append(value)
+            # Process right-to-left so earlier piece indexes stay valid.
+            for piece_index in sorted(by_piece, reverse=True):
+                group = by_piece[piece_index]
+                piece = self._pieces.piece_at_index(piece_index)
+                if len(group) == 1 or piece.is_sorted:
+                    for value in group:
+                        positions[value] = self.ensure_cut(value, origin)
+                    continue
+                splits, charge = crack_multi(
+                    self._array,
+                    piece.start,
+                    piece.end,
+                    group,
+                    self._rowids,
+                )
+                self.clock.charge(charge)
+                now = self.clock.now()
+                for value, split in zip(group, splits):
+                    self._pieces.add_crack(value, split)
+                    positions[value] = split
+                    self.tape.record(now, origin, value, split, piece.size)
+        return [positions[value] for value in values]
+
+    def select_range(
+        self,
+        low: float,
+        high: float,
+        origin: CrackOrigin = CrackOrigin.QUERY,
+    ) -> RangeView:
+        """Answer ``low <= value < high``, refining the index on the way.
+
+        When both bounds fall in the same unsorted piece a single
+        crack-in-three pass handles them together (one pass instead of
+        two), exactly as MonetDB's select operator does.
+
+        Raises:
+            QueryError: if ``low > high``.
+        """
+        if low > high:
+            raise QueryError(f"range inverted: low={low} > high={high}")
+        low_index = self._pieces.piece_index_for_value(low)
+        high_index = self._pieces.piece_index_for_value(high)
+        same_piece = low_index == high_index
+        bounds_new = not (
+            self._pieces.has_pivot(low) or self._pieces.has_pivot(high)
+        )
+        piece = self._pieces.piece_at_index(low_index)
+        if (
+            same_piece
+            and bounds_new
+            and not piece.is_sorted
+            and low < high
+            and piece.size > 0
+        ):
+            self._charge_copy_if_needed()
+            pos_low, pos_high, charge = crack_in_three(
+                self._array, piece.start, piece.end, low, high, self._rowids
+            )
+            self._pieces.add_crack(low, pos_low)
+            self._pieces.add_crack(high, pos_high)
+            self.clock.charge(charge)
+            now = self.clock.now()
+            self.tape.record(now, origin, low, pos_low, piece.size)
+            self.tape.record(now, origin, high, pos_high, piece.size)
+        else:
+            pos_low = self.ensure_cut(low, origin)
+            pos_high = self.ensure_cut(high, origin)
+        return RangeView(self._array, pos_low, pos_high, self._rowids)
+
+    # -- auxiliary refinement actions (holistic tuning) ------------------
+
+    def random_crack(
+        self,
+        rng: np.random.Generator,
+        origin: CrackOrigin = CrackOrigin.TUNING,
+        min_piece_size: int = 2,
+    ) -> int | None:
+        """Apply one random crack action (paper §3).
+
+        Picks a uniform random value within the column's value range
+        and cracks there.  Returns the cut position, or ``None`` when
+        the action degenerated (value already a pivot, or the target
+        piece is already at/below ``min_piece_size``).
+        """
+        if self.row_count == 0:
+            return None
+        stats = self.column.stats
+        if stats.value_span <= 0:
+            return None
+        value = float(rng.uniform(stats.min_value, stats.max_value))
+        if self._pieces.has_pivot(value):
+            return None
+        piece = self._pieces.piece_for_value(value)
+        if piece.size <= min_piece_size:
+            return None
+        return self.ensure_cut(value, origin)
+
+    def crack_largest_piece(
+        self,
+        rng: np.random.Generator,
+        origin: CrackOrigin = CrackOrigin.TUNING,
+        min_piece_size: int = 2,
+    ) -> int | None:
+        """Crack the largest unsorted piece at one of its elements.
+
+        A data-driven refinement (in the spirit of stochastic
+        cracking's DDC/DDR [10]): pivoting on an actual element
+        guarantees progress even under skew.  Returns the cut position
+        or ``None`` if no piece is large enough.
+        """
+        piece = self._pieces.largest_unsorted_piece()
+        if piece is None or piece.size <= min_piece_size:
+            return None
+        offset = int(rng.integers(piece.start, piece.end))
+        value = float(self._array[offset])
+        if self._pieces.has_pivot(value):
+            return None
+        return self.ensure_cut(value, origin)
+
+    def sort_piece_at(self, piece_index: int) -> Piece:
+        """Fully sort one piece and mark it sorted.
+
+        Raises:
+            CrackerError: if the index is out of range.
+        """
+        piece = self._pieces.piece_at_index(piece_index)
+        if not piece.is_sorted:
+            self._charge_copy_if_needed()
+            charge = sort_piece(
+                self._array, piece.start, piece.end, self._rowids
+            )
+            self.clock.charge(charge)
+            self._pieces.mark_sorted(piece_index)
+            self.tape.record(
+                self.clock.now(),
+                CrackOrigin.SORT,
+                piece.low,
+                piece.start,
+                piece.size,
+            )
+        return self._pieces.piece_at_index(piece_index)
+
+    # -- validation ------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the physical partitioning matches the piece map.
+
+        O(n); used by tests and the property-based suite, never on the
+        hot path.
+
+        Raises:
+            CrackerError: on any violation.
+        """
+        self._pieces.check_invariants()
+        for piece in self._pieces.pieces():
+            chunk = self._array[piece.start : piece.end]
+            if len(chunk) == 0:
+                continue
+            if piece.low != -math.inf and chunk.min() < piece.low:
+                raise CrackerError(
+                    f"{piece} contains value {chunk.min()} below its "
+                    "lower bound"
+                )
+            if piece.high != math.inf and chunk.max() >= piece.high:
+                raise CrackerError(
+                    f"{piece} contains value {chunk.max()} at/above its "
+                    "upper bound"
+                )
+            if piece.is_sorted and not np.all(chunk[:-1] <= chunk[1:]):
+                raise CrackerError(f"{piece} marked sorted but is not")
+        if self._rowids is not None:
+            reconstructed = self.column.values[self._rowids]
+            if not np.array_equal(reconstructed, self._array):
+                raise CrackerError(
+                    "cracker map does not reconstruct the cracker column"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"CrackerIndex({self.column.name!r}, rows={self.row_count}, "
+            f"pieces={self.piece_count})"
+        )

@@ -1,0 +1,274 @@
+"""The piece map: ordered crack boundaries of one cracked column.
+
+MonetDB's cracker index keeps an AVL tree mapping pivot values to the
+position of the first element ``>= pivot``.  Because the cracked column
+is range-partitioned, pivot order and position order coincide, so two
+parallel sorted lists with binary search give the same O(log k)
+navigation with much better Python constants.
+
+Invariants (checked by :meth:`PieceMap.check_invariants` and the
+property tests):
+
+* ``pivots`` is strictly increasing;
+* ``cuts`` is non-decreasing, each within ``[0, n]``;
+* piece ``i`` spans positions ``[cuts[i-1], cuts[i])`` (sentinels 0 and
+  ``n``) and values ``[pivots[i-1], pivots[i])`` (sentinels -inf/+inf);
+* ``sorted_flags`` has exactly ``len(pivots) + 1`` entries.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import Iterator
+
+from repro.errors import CrackerError
+from repro.cracking.piece import Piece
+
+
+class PieceMap:
+    """Crack boundaries of a column of ``n`` rows."""
+
+    def __init__(self, n: int, sorted_initially: bool = False) -> None:
+        if n < 0:
+            raise CrackerError(f"row count must be >= 0, got {n}")
+        self._n = n
+        self._pivots: list[float] = []
+        self._cuts: list[int] = []
+        self._sorted_flags: list[bool] = [sorted_initially]
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return self._n
+
+    @property
+    def piece_count(self) -> int:
+        return len(self._pivots) + 1
+
+    @property
+    def crack_count(self) -> int:
+        return len(self._pivots)
+
+    def pivots(self) -> list[float]:
+        """The pivot values, in increasing order (copy)."""
+        return list(self._pivots)
+
+    def cuts(self) -> list[int]:
+        """The cut positions aligned with :meth:`pivots` (copy)."""
+        return list(self._cuts)
+
+    def piece_at_index(self, index: int) -> Piece:
+        """The ``index``-th piece, in position/value order.
+
+        Raises:
+            CrackerError: if ``index`` is out of range.
+        """
+        if index < 0 or index >= self.piece_count:
+            raise CrackerError(
+                f"piece index {index} out of range "
+                f"[0, {self.piece_count})"
+            )
+        start = self._cuts[index - 1] if index > 0 else 0
+        end = self._cuts[index] if index < len(self._cuts) else self._n
+        low = self._pivots[index - 1] if index > 0 else -math.inf
+        high = (
+            self._pivots[index] if index < len(self._pivots) else math.inf
+        )
+        return Piece(start, end, low, high, self._sorted_flags[index])
+
+    def piece_index_for_value(self, value: float) -> int:
+        """Index of the piece whose value interval contains ``value``."""
+        return bisect_right(self._pivots, value)
+
+    def piece_for_value(self, value: float) -> Piece:
+        """The piece whose value interval contains ``value``."""
+        return self.piece_at_index(self.piece_index_for_value(value))
+
+    def has_pivot(self, value: float) -> bool:
+        """Whether ``value`` is already a crack boundary."""
+        i = bisect_left(self._pivots, value)
+        return i < len(self._pivots) and self._pivots[i] == value
+
+    def position_of_pivot(self, value: float) -> int:
+        """Cut position of an existing pivot.
+
+        Raises:
+            CrackerError: if ``value`` is not a pivot.
+        """
+        i = bisect_left(self._pivots, value)
+        if i >= len(self._pivots) or self._pivots[i] != value:
+            raise CrackerError(f"{value!r} is not a crack boundary")
+        return self._cuts[i]
+
+    def pieces(self) -> Iterator[Piece]:
+        """All pieces in order."""
+        for i in range(self.piece_count):
+            yield self.piece_at_index(i)
+
+    def piece_sizes(self) -> list[int]:
+        """Sizes of all pieces, in order."""
+        bounds = [0, *self._cuts, self._n]
+        return [bounds[i + 1] - bounds[i] for i in range(len(bounds) - 1)]
+
+    def max_piece_size(self) -> int:
+        sizes = self.piece_sizes()
+        return max(sizes) if sizes else 0
+
+    def average_piece_size(self) -> float:
+        return self._n / self.piece_count if self.piece_count else 0.0
+
+    def largest_unsorted_piece(self) -> Piece | None:
+        """The biggest piece that is not yet sorted, or ``None``."""
+        best: Piece | None = None
+        for piece in self.pieces():
+            if piece.is_sorted:
+                continue
+            if best is None or piece.size > best.size:
+                best = piece
+        return best
+
+    # -- mutation ------------------------------------------------------
+
+    def add_crack(self, pivot: float, position: int) -> None:
+        """Record that the column was cracked at ``pivot``/``position``.
+
+        Splits the containing piece; both halves inherit its sorted
+        flag (cracking a sorted piece is a positional split that keeps
+        both halves sorted).
+
+        Raises:
+            CrackerError: if the pivot already exists or the position
+                violates the piece-ordering invariants.
+        """
+        i = bisect_left(self._pivots, pivot)
+        if i < len(self._pivots) and self._pivots[i] == pivot:
+            raise CrackerError(f"pivot {pivot!r} already recorded")
+        left_bound = self._cuts[i - 1] if i > 0 else 0
+        right_bound = self._cuts[i] if i < len(self._cuts) else self._n
+        if not left_bound <= position <= right_bound:
+            raise CrackerError(
+                f"cut position {position} for pivot {pivot!r} outside "
+                f"containing piece [{left_bound}, {right_bound}]"
+            )
+        self._pivots.insert(i, pivot)
+        self._cuts.insert(i, position)
+        self._sorted_flags.insert(i, self._sorted_flags[i])
+
+    def mark_sorted(self, piece_index: int) -> None:
+        """Flag a piece as fully sorted.
+
+        Raises:
+            CrackerError: if the index is out of range.
+        """
+        if piece_index < 0 or piece_index >= self.piece_count:
+            raise CrackerError(
+                f"piece index {piece_index} out of range "
+                f"[0, {self.piece_count})"
+            )
+        self._sorted_flags[piece_index] = True
+
+    def mark_unsorted(self, piece_index: int) -> None:
+        """Clear a piece's sorted flag (after in-piece insertions).
+
+        Raises:
+            CrackerError: if the index is out of range.
+        """
+        if piece_index < 0 or piece_index >= self.piece_count:
+            raise CrackerError(
+                f"piece index {piece_index} out of range "
+                f"[0, {self.piece_count})"
+            )
+        self._sorted_flags[piece_index] = False
+
+    def is_piece_sorted(self, piece_index: int) -> bool:
+        if piece_index < 0 or piece_index >= self.piece_count:
+            raise CrackerError(
+                f"piece index {piece_index} out of range "
+                f"[0, {self.piece_count})"
+            )
+        return self._sorted_flags[piece_index]
+
+    def shift_from(self, position: int, delta: int) -> None:
+        """Shift all cuts at or beyond ``position`` by ``delta`` rows.
+
+        Used by update merging: inserting rows into a piece moves every
+        later piece.  ``row_count`` grows by ``delta``.
+
+        Raises:
+            CrackerError: if ``delta`` would make the map inconsistent.
+        """
+        if self._n + delta < 0:
+            raise CrackerError(
+                f"shift by {delta} would make row count negative"
+            )
+        for i, cut in enumerate(self._cuts):
+            if cut >= position:
+                shifted = cut + delta
+                if shifted < 0:
+                    raise CrackerError(
+                        f"shift by {delta} drives cut {cut} negative"
+                    )
+                self._cuts[i] = shifted
+        self._n += delta
+
+    def apply_deltas(self, deltas: list[int]) -> None:
+        """Grow/shrink each piece by ``deltas[i]`` rows, shifting cuts.
+
+        Used by update merging: after physically inserting (positive
+        delta) or deleting (negative) rows piece by piece, every cut
+        right of a changed piece moves by the cumulative delta.
+
+        Raises:
+            CrackerError: if ``deltas`` has the wrong length or a piece
+                would shrink below zero rows.
+        """
+        if len(deltas) != self.piece_count:
+            raise CrackerError(
+                f"{len(deltas)} deltas for {self.piece_count} pieces"
+            )
+        sizes = self.piece_sizes()
+        for size, delta in zip(sizes, deltas):
+            if size + delta < 0:
+                raise CrackerError(
+                    f"delta {delta} would shrink a {size}-row piece "
+                    "below zero"
+                )
+        shift = 0
+        for i in range(len(self._cuts)):
+            shift += deltas[i]
+            self._cuts[i] += shift
+        self._n += shift + deltas[-1]
+
+    # -- validation ----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate internal invariants (used by tests and debugging).
+
+        Raises:
+            CrackerError: on any violation.
+        """
+        if any(
+            self._pivots[i] >= self._pivots[i + 1]
+            for i in range(len(self._pivots) - 1)
+        ):
+            raise CrackerError("pivots not strictly increasing")
+        if any(
+            self._cuts[i] > self._cuts[i + 1]
+            for i in range(len(self._cuts) - 1)
+        ):
+            raise CrackerError("cuts not non-decreasing")
+        if self._cuts and (self._cuts[0] < 0 or self._cuts[-1] > self._n):
+            raise CrackerError("cut positions outside [0, n]")
+        if len(self._sorted_flags) != self.piece_count:
+            raise CrackerError(
+                f"{len(self._sorted_flags)} sorted flags for "
+                f"{self.piece_count} pieces"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"PieceMap(rows={self._n}, pieces={self.piece_count}, "
+            f"cracks={self.crack_count})"
+        )

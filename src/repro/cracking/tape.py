@@ -1,0 +1,85 @@
+"""The cracker tape: an append-only log of refinement actions.
+
+Every crack, sort or merge on a cracker index is recorded with its
+origin (query-driven vs tuning-driven), virtual timestamp and the size
+of the piece it refined.  The tape powers:
+
+* the Figure-1 style timeline reproduction (`repro.bench.timeline`);
+* the workload monitor's view of *who* refined *what* and *when*;
+* debugging and the concurrency simulator's conflict analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cracking.piece import CrackOrigin
+
+
+@dataclass(frozen=True, slots=True)
+class TapeRecord:
+    """One refinement action on a cracker index."""
+
+    timestamp: float
+    origin: CrackOrigin
+    pivot: float
+    position: int
+    piece_size: int
+
+    def __repr__(self) -> str:
+        return (
+            f"TapeRecord(t={self.timestamp:.6f}, {self.origin.value}, "
+            f"pivot={self.pivot}, pos={self.position}, "
+            f"piece={self.piece_size})"
+        )
+
+
+class CrackTape:
+    """Append-only refinement log with per-origin counters."""
+
+    def __init__(self) -> None:
+        self._records: list[TapeRecord] = []
+        self._counts: dict[CrackOrigin, int] = {o: 0 for o in CrackOrigin}
+
+    def record(
+        self,
+        timestamp: float,
+        origin: CrackOrigin,
+        pivot: float,
+        position: int,
+        piece_size: int,
+    ) -> TapeRecord:
+        """Append one action and return its record."""
+        entry = TapeRecord(timestamp, origin, pivot, position, piece_size)
+        self._records.append(entry)
+        self._counts[origin] += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TapeRecord]:
+        return iter(self._records)
+
+    def records(self) -> list[TapeRecord]:
+        """All records, oldest first (copy)."""
+        return list(self._records)
+
+    def count(self, origin: CrackOrigin | None = None) -> int:
+        """Number of actions, optionally filtered by origin."""
+        if origin is None:
+            return len(self._records)
+        return self._counts[origin]
+
+    def last(self) -> TapeRecord | None:
+        """The most recent record, or None when empty."""
+        return self._records[-1] if self._records else None
+
+    def since(self, timestamp: float) -> list[TapeRecord]:
+        """Records strictly newer than ``timestamp``."""
+        return [r for r in self._records if r.timestamp > timestamp]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._counts = {o: 0 for o in CrackOrigin}

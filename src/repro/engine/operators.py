@@ -1,0 +1,101 @@
+"""Physical operators shared by all indexing strategies.
+
+``scan_select`` is the no-index baseline (MonetDB's tight predicate
+loop over a column); ``project`` materializes qualifying values;
+``apply_pending`` corrects any strategy's result for updates still
+sitting in the column's delta store, so every strategy stays correct
+under trickle inserts/deletes without owning merge logic itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simtime.charge import CostCharge
+from repro.simtime.clock import Clock
+from repro.storage.updates import PendingUpdates
+from repro.storage.views import (
+    MaterializedResult,
+    PositionsView,
+    SelectionResult,
+)
+
+
+def scan_select(
+    values: np.ndarray,
+    low: float,
+    high: float,
+    clock: Clock,
+) -> PositionsView:
+    """Full-column predicate scan; returns qualifying positions."""
+    mask = (values >= low) & (values < high)
+    positions = np.flatnonzero(mask)
+    clock.charge(
+        CostCharge(
+            elements_scanned=len(values),
+            elements_materialized=len(positions),
+        )
+    )
+    return PositionsView(values, positions)
+
+
+def project(result: SelectionResult, clock: Clock) -> np.ndarray:
+    """Materialize a result's values (the query's projection list)."""
+    values = result.values()
+    clock.charge(CostCharge(elements_materialized=len(values)))
+    return values
+
+
+def multiset_difference(
+    values: np.ndarray, removals: np.ndarray
+) -> np.ndarray:
+    """Remove one occurrence per entry of ``removals`` from ``values``.
+
+    Order of the surviving values is preserved.  Removal entries with
+    no match are ignored.
+    """
+    if len(removals) == 0 or len(values) == 0:
+        return values
+    remaining: dict[float, int] = {}
+    for value in removals.tolist():
+        remaining[value] = remaining.get(value, 0) + 1
+    keep = np.ones(len(values), dtype=bool)
+    for i, value in enumerate(values.tolist()):
+        budget = remaining.get(value, 0)
+        if budget > 0:
+            keep[i] = False
+            remaining[value] = budget - 1
+    return values[keep]
+
+
+def apply_pending(
+    result: SelectionResult,
+    pending: PendingUpdates,
+    low: float,
+    high: float,
+    clock: Clock,
+) -> SelectionResult:
+    """Correct ``result`` for pending inserts/deletes in ``[low, high)``.
+
+    Returns the original result untouched when no pending entries
+    overlap the range; otherwise a :class:`MaterializedResult` with
+    pending inserts appended and pending deletes subtracted.
+    """
+    if not pending.has_pending():
+        return result
+    inserts = pending.inserts_in_range(low, high)
+    deletes = pending.deletes_in_range(low, high)
+    if len(inserts) == 0 and len(deletes) == 0:
+        return result
+    values = result.values()
+    if len(deletes):
+        values = multiset_difference(values, deletes)
+    if len(inserts):
+        values = np.concatenate([values, inserts.astype(values.dtype)])
+    clock.charge(
+        CostCharge(
+            comparisons=max(1, len(deletes)),
+            elements_materialized=len(values),
+        )
+    )
+    return MaterializedResult(values)

@@ -1,0 +1,65 @@
+"""Access-path planning and EXPLAIN output.
+
+Strategies decide how each range select is answered; the plan layer
+names those choices, estimates their cost with the calibrated model,
+and renders a human-readable EXPLAIN -- useful in examples, tests and
+when debugging why a strategy behaves as it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.engine.query import RangeQuery
+from repro.simtime.model import CostModel
+
+
+class AccessPath(Enum):
+    """How a range select is physically answered."""
+
+    SCAN = "scan"
+    FULL_INDEX = "full-index"
+    CRACKER = "cracker"
+    HYBRID = "hybrid"
+    WAIT_FOR_BUILD = "wait-for-build"
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedQuery:
+    """A query with its chosen access path and cost estimate."""
+
+    query: RangeQuery
+    path: AccessPath
+    estimated_s: float
+    reason: str = ""
+
+    def explain(self) -> str:
+        """One-line EXPLAIN text."""
+        note = f"  -- {self.reason}" if self.reason else ""
+        return (
+            f"{self.path.value.upper():>14}  "
+            f"est={self.estimated_s * 1e3:10.4f} ms  {self.query}{note}"
+        )
+
+
+def estimate_path_cost(
+    path: AccessPath,
+    rows: int,
+    model: CostModel,
+    piece_size: int | None = None,
+) -> float:
+    """Estimated seconds for answering one query via ``path``.
+
+    ``piece_size`` refines the CRACKER estimate (cost of cracking the
+    piece(s) the bounds fall into); it defaults to treating the column
+    as one piece.
+    """
+    if path is AccessPath.SCAN:
+        return model.scan_seconds(rows)
+    if path is AccessPath.FULL_INDEX:
+        return model.indexed_query_seconds(rows)
+    if path is AccessPath.WAIT_FOR_BUILD:
+        return model.sort_seconds(rows) + model.indexed_query_seconds(rows)
+    size = piece_size if piece_size is not None else rows
+    return model.crack_seconds(size) + model.probe_seconds(rows)

@@ -1,0 +1,261 @@
+"""Query sessions: timing, accounting and strategy dispatch.
+
+A session answers queries through one indexing strategy and records
+per-query *response times* on the shared clock.  Two paper-critical
+accounting rules live here:
+
+* **idle time is not response time** -- the cumulative curves of
+  Figures 3/4 sum query responses only; idle windows advance the clock
+  without adding to the curves;
+* **blocking overruns become waiting time** -- when a strategy spends
+  more than an idle window's nominal length on non-interruptible work
+  (offline's full sorts), the excess is charged to the next query as
+  waiting time: queries "arrive before the index is ready and have to
+  wait for indexing to finish" (paper §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.operators import apply_pending
+from repro.engine.plan import PlannedQuery
+from repro.engine.query import RangeQuery
+from repro.engine.strategies import (
+    AdaptiveStrategy,
+    IndexingStrategy,
+    OfflineStrategy,
+    OnlineStrategy,
+    ScanStrategy,
+)
+from repro.errors import ConfigError
+from repro.offline.whatif import WorkloadStatement
+from repro.simtime.charge import CostCharge
+from repro.storage.catalog import ColumnRef
+from repro.storage.database import Database
+from repro.storage.views import SelectionResult
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRecord:
+    """One answered query with its timing."""
+
+    sequence: int
+    query: RangeQuery
+    response_s: float
+    wait_s: float
+    result_count: int
+    cumulative_response_s: float
+    finished_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class IdleRecord:
+    """One idle window as the session saw it."""
+
+    sequence: int
+    nominal_s: float
+    consumed_s: float
+    actions_done: int
+    debt_s: float
+    note: str
+
+
+@dataclass(slots=True)
+class SessionReport:
+    """Aggregate view of a session's history."""
+
+    strategy: str
+    queries: list[QueryRecord] = field(default_factory=list)
+    idles: list[IdleRecord] = field(default_factory=list)
+
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+    @property
+    def total_response_s(self) -> float:
+        return self.queries[-1].cumulative_response_s if self.queries else 0.0
+
+    @property
+    def total_idle_nominal_s(self) -> float:
+        return sum(idle.nominal_s for idle in self.idles)
+
+    def cumulative_curve(self) -> list[float]:
+        """Cumulative response seconds per query rank (Figure 3/4 y-axis)."""
+        return [record.cumulative_response_s for record in self.queries]
+
+    def response_times(self) -> list[float]:
+        return [record.response_s for record in self.queries]
+
+
+class Session:
+    """A query session bound to one indexing strategy."""
+
+    def __init__(self, database: Database, strategy: IndexingStrategy) -> None:
+        self.db = database
+        self.clock = database.clock
+        self.strategy = strategy
+        self.report = SessionReport(strategy=strategy.name)
+        self._cumulative_s = 0.0
+        self._pending_wait_s = 0.0
+
+    # -- workload knowledge -------------------------------------------------
+
+    def hint_workload(self, statements: list[WorkloadStatement]) -> None:
+        """Give the strategy a-priori workload knowledge."""
+        self.strategy.hint_workload(statements)
+
+    # -- querying -------------------------------------------------------------
+
+    def select(
+        self, table: str, column: str, low: float, high: float
+    ) -> SelectionResult:
+        """Answer one range query, recording its response time."""
+        query = RangeQuery(ColumnRef(table, column), low, high)
+        return self.run_query(query)
+
+    def run_query(self, query: RangeQuery) -> SelectionResult:
+        started = self.clock.now()
+        self.clock.charge(CostCharge(queries=1))
+        result = self.strategy.select(query)
+        pending = self.db.catalog.table(query.ref.table).updates_for(
+            query.ref.column
+        )
+        result = apply_pending(
+            result, pending, query.low, query.high, self.clock
+        )
+        finished = self.clock.now()
+        wait = self._pending_wait_s
+        self._pending_wait_s = 0.0
+        response = (finished - started) + wait
+        self._cumulative_s += response
+        self.report.queries.append(
+            QueryRecord(
+                sequence=len(self.report.queries) + 1,
+                query=query,
+                response_s=response,
+                wait_s=wait,
+                result_count=result.count,
+                cumulative_response_s=self._cumulative_s,
+                finished_at=finished,
+            )
+        )
+        return result
+
+    def explain(
+        self, table: str, column: str, low: float, high: float
+    ) -> PlannedQuery:
+        """The access path the strategy would use, without running it."""
+        query = RangeQuery(ColumnRef(table, column), low, high)
+        path = self.strategy.access_path(query)
+        rows = self.db.catalog.column(query.ref).row_count
+        from repro.engine.plan import estimate_path_cost
+
+        estimate = estimate_path_cost(path, rows, self.db.cost_model)
+        return PlannedQuery(query, path, estimate)
+
+    # -- idle time ---------------------------------------------------------------
+
+    def idle(
+        self,
+        seconds: float | None = None,
+        actions: int | None = None,
+    ) -> IdleRecord:
+        """Declare an idle window for the strategy to exploit.
+
+        Args:
+            seconds: nominal window length; strategies that cannot use
+                it simply let it pass.
+            actions: the paper's alternative formulation -- the window
+                lasts exactly as long as this many refinement actions
+                take (only meaningful to strategies that refine
+                incrementally).
+
+        Raises:
+            ConfigError: if neither form is given.
+        """
+        if seconds is None and actions is None:
+            raise ConfigError("idle() needs seconds= or actions=")
+        started = self.clock.now()
+        outcome = self.strategy.exploit_idle(
+            budget_s=seconds, actions=actions
+        )
+        consumed = self.clock.now() - started
+        if seconds is not None:
+            nominal = float(seconds)
+        else:
+            nominal = consumed
+        debt = 0.0
+        if consumed < nominal:
+            # The strategy could not fill the window; time still passes.
+            self.clock.sleep(nominal - consumed)
+            consumed = nominal
+        elif consumed > nominal:
+            if outcome.blocking:
+                # Non-interruptible work ran past the window: arriving
+                # queries will wait for it.
+                debt = consumed - nominal
+                self._pending_wait_s += debt
+            else:
+                # Interruptible tuning slightly overshot; the window
+                # effectively lasted that long.
+                nominal = consumed
+        record = IdleRecord(
+            sequence=len(self.report.idles) + 1,
+            nominal_s=nominal,
+            consumed_s=consumed,
+            actions_done=outcome.actions_done,
+            debt_s=debt,
+            note=outcome.note,
+        )
+        self.report.idles.append(record)
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.strategy.name!r}, "
+            f"queries={self.report.query_count})"
+        )
+
+
+_STRATEGIES = {
+    "scan": ScanStrategy,
+    "adaptive": AdaptiveStrategy,
+    "offline": OfflineStrategy,
+    "online": OnlineStrategy,
+}
+
+
+def make_strategy(
+    name: str, db: Database, **options: object
+) -> IndexingStrategy:
+    """Instantiate a strategy by name.
+
+    ``holistic`` resolves to :class:`repro.holistic.HolisticKernel`;
+    its options are the fields of
+    :class:`repro.holistic.HolisticConfig`.
+
+    Raises:
+        ConfigError: on an unknown strategy name.
+    """
+    key = name.lower()
+    if key == "holistic":
+        from repro.holistic.kernel import HolisticConfig, HolisticKernel
+
+        config = options.pop("config", None)
+        if config is None:
+            config = HolisticConfig(**options)  # type: ignore[arg-type]
+        elif options:
+            raise ConfigError(
+                "pass either config= or keyword options, not both"
+            )
+        return HolisticKernel(db, config)
+    try:
+        factory = _STRATEGIES[key]
+    except KeyError:
+        supported = ", ".join([*sorted(_STRATEGIES), "holistic"])
+        raise ConfigError(
+            f"unknown strategy {name!r}; supported: {supported}"
+        ) from None
+    return factory(db, **options)  # type: ignore[arg-type]

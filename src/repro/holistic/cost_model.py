@@ -1,0 +1,118 @@
+"""Tuning economics: pricing and valuing auxiliary refinement actions.
+
+Answers the planner-side questions of the holistic kernel:
+
+* *what would one more crack on column C cost right now?* -- a random
+  value lands in a piece of expected size ``avg_piece``, so the action
+  costs roughly ``crack(avg_piece)``;
+* *what is it worth?* -- the expected per-query saving times the
+  column's query frequency;
+* *what fits into this idle window?* -- a greedy plan of affordable
+  actions ordered by the ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.holistic.ranking import ColumnRanking, ColumnTuningState
+from repro.simtime.model import CostModel
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedAction:
+    """One affordable tuning action with its economics."""
+
+    state: ColumnTuningState
+    estimated_cost_s: float
+    estimated_benefit_s: float
+
+
+class TuningCostModel:
+    """Estimates cost/benefit of auxiliary cracks (paper §3, Modeling)."""
+
+    def __init__(self, model: CostModel, ranking: ColumnRanking) -> None:
+        self.model = model
+        self.ranking = ranking
+
+    def action_cost_s(self, state: ColumnTuningState) -> float:
+        """Expected seconds for one random crack on this column now."""
+        avg = max(1.0, state.average_piece_size())
+        return self.model.crack_seconds(int(avg))
+
+    def per_query_saving_s(self, state: ColumnTuningState) -> float:
+        """Expected response-time saving per future query on the column.
+
+        A query's crack work is proportional to the piece size its
+        bounds land in; halving the average piece size via one more
+        crack saves about half of that work, i.e. ``crack(avg) / 2``.
+        Zero once the column is cache-refined.
+        """
+        if self.ranking.is_refined(state):
+            return 0.0
+        return self.action_cost_s(state) / 2.0
+
+    def action_benefit_s(
+        self, state: ColumnTuningState, horizon_queries: int = 100
+    ) -> float:
+        """Expected saving over a horizon of future queries."""
+        weight = state.queries_seen + state.workload_weight
+        total_weight = sum(
+            s.queries_seen + s.workload_weight
+            for s in self.ranking.states()
+        )
+        if total_weight <= 0:
+            return 0.0
+        expected_queries = horizon_queries * (weight / total_weight)
+        return expected_queries * self.per_query_saving_s(state)
+
+    def plan_window(
+        self, budget_s: float, horizon_queries: int = 100
+    ) -> list[PlannedAction]:
+        """Greedy plan of actions fitting an idle window of ``budget_s``.
+
+        Repeatedly takes the ranking's best column while its estimated
+        action cost fits the remaining budget.  Piece sizes are
+        *estimated* to halve per action when projecting, so the plan is
+        advisory -- the scheduler re-checks the real clock as it runs.
+        """
+        plan: list[PlannedAction] = []
+        remaining = budget_s
+        # Work on a copy of (state, projected avg piece) pairs.
+        projections = {
+            state.ref: state.average_piece_size()
+            for state in self.ranking.states()
+        }
+        guard = 0
+        while remaining > 0 and guard < 100_000:
+            guard += 1
+            best_state: ColumnTuningState | None = None
+            best_score = 0.0
+            for state in self.ranking.states():
+                projected = projections[state.ref]
+                if projected <= self.ranking.cache_target_elements:
+                    continue
+                score = (
+                    state.queries_seen + state.workload_weight
+                ) * projected
+                if score > best_score:
+                    best_score = score
+                    best_state = state
+            if best_state is None:
+                break
+            projected = projections[best_state.ref]
+            cost = self.model.crack_seconds(int(max(1.0, projected)))
+            if cost > remaining:
+                break
+            plan.append(
+                PlannedAction(
+                    state=best_state,
+                    estimated_cost_s=cost,
+                    estimated_benefit_s=self.action_benefit_s(
+                        best_state, horizon_queries
+                    ),
+                )
+            )
+            remaining -= cost
+            projections[best_state.ref] = projected / 2.0
+        return plan

@@ -1,0 +1,261 @@
+"""The holistic indexing kernel -- the paper's contribution.
+
+One strategy that unifies the three predecessors:
+
+* **adaptive**: selects crack the touched column, as in database
+  cracking (queries are hints on how to store the data);
+* **online**: a continuous monitor records every query; statistics
+  feed a continuously-maintained ranking of candidate columns;
+* **offline**: idle windows -- a-priori or between query bursts -- are
+  spent on auxiliary refinement actions spread over the candidate
+  columns by a policy, instead of all-or-nothing full builds.
+
+Plus the two special cases of §3: with **no knowledge**, the catalog
+bootstraps the candidate set; with **no idle time**, hot columns get
+extra random cracks injected during query processing itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cracking.index import CrackerIndex
+from repro.cracking.tape import CrackTape
+from repro.engine.plan import AccessPath
+from repro.engine.query import RangeQuery
+from repro.engine.strategies import (
+    IdleOutcome,
+    IndexingStrategy,
+    StrategyFeatures,
+)
+from repro.errors import ConfigError
+from repro.holistic.cost_model import TuningCostModel
+from repro.holistic.policies import TuningPolicy, make_policy
+from repro.holistic.ranking import ColumnRanking
+from repro.holistic.scheduler import IdleScheduler, TuningReport
+from repro.holistic.tuner import ActionKind, AuxiliaryTuner
+from repro.offline.whatif import WorkloadStatement
+from repro.online.monitor import WorkloadMonitor
+from repro.storage.catalog import ColumnRef
+from repro.storage.database import Database
+from repro.storage.views import SelectionResult
+
+
+@dataclass(slots=True)
+class HolisticConfig:
+    """Tuning knobs of the holistic kernel.
+
+    Attributes:
+        policy: resource-spreading policy (``round_robin``, ``ranked``,
+            ``weighted_random``).
+        action: auxiliary action kind (``random_crack``,
+            ``crack_largest``, ``sort_smallest_unsorted``).
+        cache_target_elements: explicit cache-fit piece size in rows;
+            ``None`` derives it from the cost model (cache bytes /
+            element bytes, de-projected by the model's scale so reduced
+            runs behave like paper-scale runs).
+        hot_column_threshold: queries on a column before the no-idle
+            boost kicks in; ``0`` disables the boost.
+        hot_boost_cracks: extra random cracks injected per boosted
+            query.
+        bootstrap_from_catalog: with no hints and no observed queries,
+            spread tuning over every column in the catalog (the
+            "no knowledge" case).
+        batch_tuning: apply each idle window's actions as per-column
+            multi-pivot crack passes instead of one-at-a-time cracks
+            (the paper's "multiple tuning actions in one go").
+        seed: seed for the tuner's random generator.
+    """
+
+    policy: str = "round_robin"
+    action: str = "random_crack"
+    cache_target_elements: int | None = None
+    hot_column_threshold: int = 0
+    hot_boost_cracks: int = 1
+    bootstrap_from_catalog: bool = True
+    batch_tuning: bool = False
+    seed: int | None = 42
+
+    def __post_init__(self) -> None:
+        if self.hot_column_threshold < 0:
+            raise ConfigError(
+                "hot_column_threshold must be >= 0, got "
+                f"{self.hot_column_threshold}"
+            )
+        if self.hot_boost_cracks < 0:
+            raise ConfigError(
+                f"hot_boost_cracks must be >= 0: {self.hot_boost_cracks}"
+            )
+
+
+class HolisticKernel(IndexingStrategy):
+    """Offline, online and adaptive indexing in the same kernel."""
+
+    name = "holistic"
+
+    def __init__(
+        self, db: Database, config: HolisticConfig | None = None
+    ) -> None:
+        super().__init__(db)
+        self.config = config if config is not None else HolisticConfig()
+        model = db.cost_model
+        if self.config.cache_target_elements is not None:
+            target = self.config.cache_target_elements
+        else:
+            target = max(
+                1, int(model.constants.cache_elements() / model.scale)
+            )
+        self.cache_target_elements = target
+        self.monitor = WorkloadMonitor(db.catalog)
+        self.ranking = ColumnRanking(target)
+        self.policy: TuningPolicy = make_policy(
+            self.config.policy, seed=self.config.seed
+        )
+        self.tuner = AuxiliaryTuner(
+            kind=ActionKind(self.config.action),
+            seed=self.config.seed,
+            min_piece_size=target,
+        )
+        self.scheduler = IdleScheduler(
+            self.clock, self.ranking, self.policy, self.tuner
+        )
+        self.tuning_model = TuningCostModel(model, self.ranking)
+        self.tape = CrackTape()
+        self.indexes: dict[ColumnRef, CrackerIndex] = {}
+        self._hints: list[WorkloadStatement] = []
+        self.idle_windows = 0
+        self.boost_cracks_applied = 0
+
+    # -- index management ---------------------------------------------------
+
+    def index_for(self, ref: ColumnRef) -> CrackerIndex:
+        """Get or lazily create the cracker index on ``ref``."""
+        index = self.indexes.get(ref)
+        if index is None:
+            column = self.db.catalog.column(ref)
+            index = CrackerIndex(column, clock=self.clock, tape=self.tape)
+            self.indexes[ref] = index
+            self.ranking.register(ref, index)
+        return index
+
+    def _candidate_refs(self) -> list[ColumnRef]:
+        """Columns worth tuning, by decreasing knowledge quality.
+
+        Preference order implements §3: explicit workload hints, then
+        monitored activity, then -- the "no knowledge" case -- the
+        whole catalog.
+        """
+        if self._hints:
+            seen: dict[ColumnRef, None] = {}
+            for statement in self._hints:
+                seen.setdefault(statement.ref, None)
+            return list(seen)
+        observed = self.monitor.observed_columns()
+        if observed:
+            return observed
+        if self.config.bootstrap_from_catalog:
+            return [entry.ref for entry in self.db.catalog.entries()]
+        return []
+
+    def _register_candidates(self) -> None:
+        for ref in self._candidate_refs():
+            self.index_for(ref)
+        if self._hints:
+            weights: dict[ColumnRef, float] = {}
+            for statement in self._hints:
+                weights[statement.ref] = (
+                    weights.get(statement.ref, 0.0) + statement.weight
+                )
+            for ref, weight in weights.items():
+                self.ranking.register(ref, self.index_for(ref), weight)
+
+    # -- the strategy interface ----------------------------------------------
+
+    def hint_workload(self, statements: list[WorkloadStatement]) -> None:
+        self._hints = list(statements)
+
+    def select(self, query: RangeQuery) -> SelectionResult:
+        self.monitor.record(
+            query.ref, query.low, query.high, self.clock.now()
+        )
+        index = self.index_for(query.ref)
+        result = index.select_range(query.low, query.high)
+        self.ranking.note_query(query.ref)
+        self._maybe_boost_hot_range(query, index)
+        return result
+
+    def _maybe_boost_hot_range(
+        self, query: RangeQuery, index: CrackerIndex
+    ) -> None:
+        """The "no idle time" path: extra cracks on hot ranges."""
+        threshold = self.config.hot_column_threshold
+        if threshold <= 0 or self.config.hot_boost_cracks <= 0:
+            return
+        if not self.monitor.is_column_hot(query.ref, threshold):
+            return
+        if index.average_piece_size() <= self.cache_target_elements:
+            return
+        hot_ranges = self.monitor.hot_ranges(query.ref, threshold)
+        target = None
+        for low, high, _count in hot_ranges:
+            if low < query.high and query.low < high:
+                target = (low, high)
+                break
+        if target is None:
+            return
+        for _ in range(self.config.hot_boost_cracks):
+            if self.tuner.crack_in_hot_range(index, *target):
+                self.boost_cracks_applied += 1
+
+    def exploit_idle(
+        self,
+        budget_s: float | None = None,
+        actions: int | None = None,
+    ) -> IdleOutcome:
+        """Spend an idle window on auxiliary refinements.
+
+        Raises:
+            ConfigError: if neither a budget nor an action count is
+                given.
+        """
+        if budget_s is None and actions is None:
+            raise ConfigError(
+                "idle window needs a time budget or an action count"
+            )
+        self._register_candidates()
+        self.idle_windows += 1
+        if actions is not None:
+            if self.config.batch_tuning:
+                report = self.scheduler.run_actions_batched(actions)
+            else:
+                report = self.scheduler.run_actions(actions)
+        else:
+            report = self.scheduler.run_budget(budget_s)
+        return IdleOutcome(
+            consumed_s=report.consumed_s,
+            actions_done=report.actions_effective,
+            blocking=False,
+            note=(
+                f"{report.actions_effective}/{report.actions_attempted} "
+                f"auxiliary actions ({report.stop_reason})"
+            ),
+        )
+
+    def access_path(self, query: RangeQuery) -> AccessPath:
+        return AccessPath.CRACKER
+
+    def features(self) -> StrategyFeatures:
+        return StrategyFeatures(
+            name=self.name,
+            statistical_analysis=True,
+            idle_a_priori=True,
+            idle_during_workload=True,
+            incremental_indexing=True,
+            workload="dynamic",
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def tuning_summary(self) -> TuningReport:
+        """Lifetime tuning statistics across all idle windows."""
+        return self.scheduler.lifetime

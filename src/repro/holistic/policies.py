@@ -1,0 +1,106 @@
+"""Resource-spreading policies for auxiliary tuning actions.
+
+Paper §3 ("Spread Resources with Adaptive Indexes"): with partial
+indexes the kernel can spread an idle window over many columns instead
+of finishing one index.  How to spread is a policy:
+
+* ``round_robin`` -- the paper's baseline: cycle through the relevant
+  columns, one random crack each;
+* ``ranked`` -- the paper's "more sophisticated approach": always pick
+  the column the continuous ranking scheme scores highest;
+* ``weighted_random`` -- sample proportionally to the ranking score
+  (an exploration/exploitation middle ground, used by the ablations).
+
+All policies skip columns that already reached the cache-fit optimum.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.holistic.ranking import ColumnRanking, ColumnTuningState
+
+
+class TuningPolicy(ABC):
+    """Chooses the next column to receive an auxiliary action."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(self, ranking: ColumnRanking) -> ColumnTuningState | None:
+        """The next column, or None when every candidate is refined."""
+
+
+class RoundRobinPolicy(TuningPolicy):
+    """Cycle through unrefined candidates in registration order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, ranking: ColumnRanking) -> ColumnTuningState | None:
+        states = ranking.states()
+        if not states:
+            return None
+        for offset in range(len(states)):
+            state = states[(self._cursor + offset) % len(states)]
+            if not ranking.is_refined(state):
+                self._cursor = (self._cursor + offset + 1) % len(states)
+                return state
+        return None
+
+
+class RankedPolicy(TuningPolicy):
+    """Always pick the ranking's current best column."""
+
+    name = "ranked"
+
+    def choose(self, ranking: ColumnRanking) -> ColumnTuningState | None:
+        return ranking.best()
+
+
+class WeightedRandomPolicy(TuningPolicy):
+    """Sample a column with probability proportional to its score."""
+
+    name = "weighted_random"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, ranking: ColumnRanking) -> ColumnTuningState | None:
+        ranked = ranking.ranked()
+        if not ranked:
+            return None
+        scores = np.array([score for _, score in ranked], dtype=np.float64)
+        probabilities = scores / scores.sum()
+        chosen = self._rng.choice(len(ranked), p=probabilities)
+        return ranked[int(chosen)][0]
+
+
+_POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    RankedPolicy.name: RankedPolicy,
+    WeightedRandomPolicy.name: WeightedRandomPolicy,
+}
+
+
+def make_policy(name: str, seed: int | None = None) -> TuningPolicy:
+    """Instantiate a policy by name.
+
+    Raises:
+        ConfigError: on an unknown policy name.
+    """
+    try:
+        factory = _POLICIES[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown tuning policy {name!r}; supported: "
+            f"{', '.join(sorted(_POLICIES))}"
+        ) from None
+    if factory is WeightedRandomPolicy:
+        return WeightedRandomPolicy(seed)
+    return factory()

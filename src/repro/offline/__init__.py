@@ -1,0 +1,31 @@
+"""Offline indexing substrate: what-if advisor and full-index builder.
+
+Reproduces the classic offline auto-tuning stack the paper contrasts
+with ([1, 2, 3, 5, 6, 17]): hypothetical indexes, optimizer cost
+estimates, greedy selection under a budget, and budgeted builds of
+complete sorted indexes.
+"""
+
+from repro.offline.advisor import AdvisorReport, OfflineAdvisor, Recommendation
+from repro.offline.builder import BuildRecord, BuildReport, IndexBuilder
+from repro.offline.fullindex import FullIndex
+from repro.offline.whatif import (
+    Configuration,
+    HypotheticalIndex,
+    WhatIfOptimizer,
+    WorkloadStatement,
+)
+
+__all__ = [
+    "AdvisorReport",
+    "BuildRecord",
+    "BuildReport",
+    "Configuration",
+    "FullIndex",
+    "HypotheticalIndex",
+    "IndexBuilder",
+    "OfflineAdvisor",
+    "Recommendation",
+    "WhatIfOptimizer",
+    "WorkloadStatement",
+]

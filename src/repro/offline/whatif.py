@@ -1,0 +1,102 @@
+"""What-if analysis: hypothetical indexes and optimizer cost estimates.
+
+The earliest offline tuning tools (Chaudhuri & Narasayya, VLDB 1997 --
+the paper's [5]) introduced the "what-if" API: candidate indexes are
+*simulated*, not materialized, and the optimizer's cost estimates for a
+representative workload decide which ones to build.  This module
+reproduces that machinery on top of our cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simtime.model import CostModel
+from repro.storage.catalog import Catalog, ColumnRef
+
+
+@dataclass(frozen=True, slots=True)
+class HypotheticalIndex:
+    """A candidate single-column index that exists only on paper."""
+
+    ref: ColumnRef
+
+    def __str__(self) -> str:
+        return f"HYPO-INDEX({self.ref})"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadStatement:
+    """One statement of a representative workload sample.
+
+    ``weight`` counts how often the statement (or its template) occurs.
+    """
+
+    ref: ColumnRef
+    low: float
+    high: float
+    weight: float = 1.0
+
+
+@dataclass(slots=True)
+class Configuration:
+    """A set of (hypothetical) indexes under evaluation."""
+
+    indexes: set[ColumnRef] = field(default_factory=set)
+
+    def with_index(self, ref: ColumnRef) -> "Configuration":
+        return Configuration(indexes=self.indexes | {ref})
+
+    def covers(self, ref: ColumnRef) -> bool:
+        return ref in self.indexes
+
+
+class WhatIfOptimizer:
+    """Optimizer-style cost estimation for workloads and configurations.
+
+    Args:
+        catalog: resolves column statistics (row counts).
+        model: the calibrated cost model used for estimates.
+    """
+
+    def __init__(self, catalog: Catalog, model: CostModel | None = None) -> None:
+        self.catalog = catalog
+        self.model = model if model is not None else CostModel()
+        self.calls = 0
+
+    def statement_cost(
+        self, statement: WorkloadStatement, config: Configuration
+    ) -> float:
+        """Estimated seconds to run one statement under ``config``."""
+        self.calls += 1
+        rows = self.catalog.column(statement.ref).row_count
+        if config.covers(statement.ref):
+            return self.model.indexed_query_seconds(rows)
+        return self.model.scan_seconds(rows)
+
+    def workload_cost(
+        self, workload: list[WorkloadStatement], config: Configuration
+    ) -> float:
+        """Estimated seconds for the whole workload under ``config``."""
+        return sum(
+            self.statement_cost(stmt, config) * stmt.weight
+            for stmt in workload
+        )
+
+    def index_benefit(
+        self,
+        workload: list[WorkloadStatement],
+        config: Configuration,
+        candidate: ColumnRef,
+    ) -> float:
+        """Workload seconds saved by adding ``candidate`` to ``config``."""
+        base = self.workload_cost(workload, config)
+        with_candidate = self.workload_cost(
+            workload, config.with_index(candidate)
+        )
+        return base - with_candidate
+
+    def build_cost(self, ref: ColumnRef) -> float:
+        """Estimated seconds to materialize a full index on ``ref``."""
+        rows = self.catalog.column(ref).row_count
+        return self.model.sort_seconds(rows)

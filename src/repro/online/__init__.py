@@ -1,0 +1,28 @@
+"""Online indexing substrate: monitoring, epochs, COLT, soft indexes.
+
+Reproduces the online auto-tuning stack the paper contrasts with
+([4, 15, 16]): a continuous workload monitor, epoch-based design
+reevaluation, benefit-amortized index creation/dropping, and
+scan-shared (soft) index builds.
+"""
+
+from repro.online.colt import ColtConfig, ColtTuner, EpochDecision
+from repro.online.epoch import EpochManager
+from repro.online.monitor import (
+    ColumnActivity,
+    QueryObservation,
+    WorkloadMonitor,
+)
+from repro.online.soft_index import SoftCandidate, SoftIndexManager
+
+__all__ = [
+    "ColtConfig",
+    "ColtTuner",
+    "ColumnActivity",
+    "EpochDecision",
+    "EpochManager",
+    "QueryObservation",
+    "SoftCandidate",
+    "SoftIndexManager",
+    "WorkloadMonitor",
+]

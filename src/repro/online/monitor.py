@@ -1,0 +1,206 @@
+"""Continuous workload monitoring.
+
+Online indexing's defining feature (COLT [16]) is that statistics are
+collected *while the workload runs*.  The monitor records every range
+query with its virtual timestamp and maintains, per column:
+
+* total and recent query counts (frequency estimation);
+* an equi-width histogram of requested value ranges (hot-range
+  detection for the holistic "no idle time" boost);
+* the union of queried intervals (coverage of the explored region).
+
+Holistic indexing reuses this exact monitor -- the paper's point is
+that monitoring, idle-time exploitation and adaptive refinement live
+in one kernel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.storage.catalog import Catalog, ColumnRef
+from repro.util.intervals import IntervalSet
+
+
+@dataclass(frozen=True, slots=True)
+class QueryObservation:
+    """One observed range query."""
+
+    ref: ColumnRef
+    low: float
+    high: float
+    timestamp: float
+
+
+@dataclass(slots=True)
+class ColumnActivity:
+    """Per-column monitoring state."""
+
+    ref: ColumnRef
+    query_count: int = 0
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    recent: deque[float] = field(default_factory=lambda: deque(maxlen=256))
+    coverage: IntervalSet = field(default_factory=IntervalSet)
+    histogram: np.ndarray | None = None
+    histogram_low: float = 0.0
+    histogram_width: float = 1.0
+
+
+class WorkloadMonitor:
+    """Collects continuous workload statistics per column.
+
+    Args:
+        catalog: used to initialize histogram domains from column stats.
+        histogram_bins: resolution of the per-column range histograms.
+        recent_window: how many recent timestamps to keep per column
+            for frequency estimation.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        histogram_bins: int = 64,
+        recent_window: int = 256,
+    ) -> None:
+        if histogram_bins <= 0:
+            raise ConfigError(
+                f"histogram_bins must be positive: {histogram_bins}"
+            )
+        if recent_window <= 0:
+            raise ConfigError(
+                f"recent_window must be positive: {recent_window}"
+            )
+        self.catalog = catalog
+        self.histogram_bins = histogram_bins
+        self.recent_window = recent_window
+        self._activity: dict[ColumnRef, ColumnActivity] = {}
+        self.total_queries = 0
+
+    # -- recording -------------------------------------------------------
+
+    def _activity_for(self, ref: ColumnRef, timestamp: float) -> ColumnActivity:
+        activity = self._activity.get(ref)
+        if activity is None:
+            column = self.catalog.column(ref)
+            stats = column.stats
+            width = max(stats.value_span, 1.0) / self.histogram_bins
+            activity = ColumnActivity(
+                ref=ref,
+                first_seen=timestamp,
+                recent=deque(maxlen=self.recent_window),
+                histogram=np.zeros(self.histogram_bins, dtype=np.int64),
+                histogram_low=stats.min_value,
+                histogram_width=width,
+            )
+            self._activity[ref] = activity
+        return activity
+
+    def record(
+        self, ref: ColumnRef, low: float, high: float, timestamp: float
+    ) -> QueryObservation:
+        """Record one range query and return its observation."""
+        activity = self._activity_for(ref, timestamp)
+        activity.query_count += 1
+        activity.last_seen = timestamp
+        activity.recent.append(timestamp)
+        activity.coverage.add(low, high)
+        if activity.histogram is not None and high > low:
+            first_bin = int(
+                (low - activity.histogram_low) // activity.histogram_width
+            )
+            last_bin = int(
+                (high - activity.histogram_low) // activity.histogram_width
+            )
+            first_bin = min(max(first_bin, 0), self.histogram_bins - 1)
+            last_bin = min(max(last_bin, 0), self.histogram_bins - 1)
+            activity.histogram[first_bin : last_bin + 1] += 1
+        self.total_queries += 1
+        return QueryObservation(ref, low, high, timestamp)
+
+    # -- statistics ------------------------------------------------------
+
+    def query_count(self, ref: ColumnRef) -> int:
+        activity = self._activity.get(ref)
+        return activity.query_count if activity else 0
+
+    def observed_columns(self) -> list[ColumnRef]:
+        """Columns seen so far, most-queried first."""
+        return sorted(
+            self._activity,
+            key=lambda ref: self._activity[ref].query_count,
+            reverse=True,
+        )
+
+    def frequency(self, ref: ColumnRef, now: float) -> float:
+        """Recent queries per second on ``ref`` (0.0 when unseen)."""
+        activity = self._activity.get(ref)
+        if activity is None or not activity.recent:
+            return 0.0
+        window_start = activity.recent[0]
+        elapsed = max(now - window_start, 1e-9)
+        return len(activity.recent) / elapsed
+
+    def relative_weight(self, ref: ColumnRef) -> float:
+        """Fraction of all observed queries that hit ``ref``."""
+        if self.total_queries == 0:
+            return 0.0
+        return self.query_count(ref) / self.total_queries
+
+    def coverage(self, ref: ColumnRef) -> IntervalSet:
+        """Union of value ranges queried on ``ref``."""
+        activity = self._activity.get(ref)
+        return activity.coverage if activity else IntervalSet()
+
+    def hot_ranges(
+        self, ref: ColumnRef, min_queries: int
+    ) -> list[tuple[float, float, int]]:
+        """Value ranges requested at least ``min_queries`` times.
+
+        Returns ``(low, high, count)`` triples from the histogram, with
+        adjacent hot bins coalesced.  This implements the paper's "more
+        than n queries cracked this column/range" trigger.
+        """
+        activity = self._activity.get(ref)
+        if activity is None or activity.histogram is None:
+            return []
+        hot = activity.histogram >= min_queries
+        ranges: list[tuple[float, float, int]] = []
+        start: int | None = None
+        for i, flag in enumerate(hot):
+            if flag and start is None:
+                start = i
+            elif not flag and start is not None:
+                ranges.append(self._bins_to_range(activity, start, i))
+                start = None
+        if start is not None:
+            ranges.append(
+                self._bins_to_range(activity, start, len(hot))
+            )
+        return ranges
+
+    @staticmethod
+    def _bins_to_range(
+        activity: ColumnActivity, first: int, last: int
+    ) -> tuple[float, float, int]:
+        low = activity.histogram_low + first * activity.histogram_width
+        high = activity.histogram_low + last * activity.histogram_width
+        count = int(activity.histogram[first:last].max())
+        return (low, high, count)
+
+    def is_column_hot(self, ref: ColumnRef, min_queries: int) -> bool:
+        """Whether ``ref`` has absorbed at least ``min_queries`` queries."""
+        return self.query_count(ref) >= min_queries
+
+    def epoch_counts(self, since: float) -> dict[ColumnRef, int]:
+        """Per-column query counts with timestamps after ``since``."""
+        counts: dict[ColumnRef, int] = {}
+        for ref, activity in self._activity.items():
+            fresh = sum(1 for t in activity.recent if t > since)
+            if fresh:
+                counts[ref] = fresh
+        return counts

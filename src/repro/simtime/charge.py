@@ -1,0 +1,111 @@
+"""Cost charges: machine-independent records of work performed.
+
+Every storage / index / operator primitive in this library reports the
+work it did as a :class:`CostCharge` instead of timing itself.  A charge
+counts *logical* operations -- elements scanned, elements moved by a
+crack, comparison steps of a binary search, and so on.  Charges are then
+priced by a :class:`repro.simtime.model.CostModel` (virtual time,
+calibrated to the paper's testbed) or simply ignored by the wall clock
+(real time flows by itself).
+
+This is the seam that makes the reproduction honest: the same algorithm
+run produces both real measurements (pytest-benchmark) and a projection
+onto the paper's 10^8-row, 2011-i7 scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(slots=True)
+class CostCharge:
+    """Logical work counters for one operation (or an aggregate of many).
+
+    Attributes:
+        elements_scanned: elements read sequentially (full/partial scans).
+        elements_cracked: elements read+written by crack partitioning.
+        elements_sorted: elements fully sorted (priced N*log2(N)).
+        elements_merged: elements moved by merge steps (hybrid cracking).
+        elements_materialized: result elements copied out (not views).
+        comparisons: individual comparison steps (binary search, piece
+            map navigation).
+        seeks: random accesses / piece-boundary lookups.
+        pieces_touched: how many cracker pieces the operation visited.
+        queries: number of user queries this charge covers (bookkeeping).
+        cracks: number of crack actions performed (bookkeeping).
+    """
+
+    elements_scanned: int = 0
+    elements_cracked: int = 0
+    elements_sorted: int = 0
+    elements_merged: int = 0
+    elements_materialized: int = 0
+    comparisons: int = 0
+    seeks: int = 0
+    pieces_touched: int = 0
+    queries: int = 0
+    cracks: int = 0
+
+    def __add__(self, other: "CostCharge") -> "CostCharge":
+        if not isinstance(other, CostCharge):
+            return NotImplemented
+        merged = CostCharge()
+        for field in fields(self):
+            value = getattr(self, field.name) + getattr(other, field.name)
+            setattr(merged, field.name, value)
+        return merged
+
+    def __iadd__(self, other: "CostCharge") -> "CostCharge":
+        if not isinstance(other, CostCharge):
+            return NotImplemented
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return self
+
+    def copy(self) -> "CostCharge":
+        """Return an independent copy of this charge."""
+        fresh = CostCharge()
+        fresh += self
+        return fresh
+
+    def is_zero(self) -> bool:
+        """True when no work at all has been recorded."""
+        return all(getattr(self, field.name) == 0 for field in fields(self))
+
+    def total_elements(self) -> int:
+        """Total element-level touches (scan + crack + sort + merge)."""
+        return (
+            self.elements_scanned
+            + self.elements_cracked
+            + self.elements_sorted
+            + self.elements_merged
+            + self.elements_materialized
+        )
+
+    @classmethod
+    def for_scan(cls, n: int, materialized: int = 0) -> "CostCharge":
+        """Charge for a sequential scan of ``n`` elements."""
+        return cls(elements_scanned=n, elements_materialized=materialized)
+
+    @classmethod
+    def for_crack(cls, piece_size: int, pieces: int = 1) -> "CostCharge":
+        """Charge for crack-partitioning ``piece_size`` elements."""
+        return cls(
+            elements_cracked=piece_size, pieces_touched=pieces, cracks=1
+        )
+
+    @classmethod
+    def for_sort(cls, n: int) -> "CostCharge":
+        """Charge for fully sorting ``n`` elements."""
+        return cls(elements_sorted=n)
+
+    @classmethod
+    def for_binary_search(cls, n: int) -> "CostCharge":
+        """Charge for a binary search over ``n`` ordered elements."""
+        steps = max(1, int(n).bit_length())
+        return cls(comparisons=steps, seeks=1)

@@ -1,0 +1,120 @@
+"""Clocks: virtual (cost-model driven) and wall (perf_counter) time.
+
+All engine components take a clock and report their work as cost
+charges via :meth:`Clock.charge`.  Under a :class:`SimClock` the charge
+advances virtual time according to the calibrated cost model; under a
+:class:`WallClock` charges are counted but time flows by itself.  This
+lets the same experiment code produce both the paper-scale projection
+and genuine wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigError
+from repro.simtime.charge import CostCharge
+from repro.simtime.model import CostModel
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal clock interface used throughout the engine."""
+
+    def now(self) -> float:
+        """Current time in seconds (virtual or wall)."""
+        ...
+
+    def charge(self, charge: CostCharge) -> float:
+        """Account for work; return the seconds it was priced at."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Let ``seconds`` of time pass (idle time)."""
+        ...
+
+
+class SimClock:
+    """Virtual clock driven by a :class:`CostModel`.
+
+    Time only moves when work is charged or idle time is injected,
+    which makes experiments deterministic and lets a 10^6-row run
+    report 10^8-row seconds.
+    """
+
+    def __init__(self, model: CostModel | None = None) -> None:
+        self.model = model if model is not None else CostModel()
+        self._now = 0.0
+        self.total_charge = CostCharge()
+
+    def now(self) -> float:
+        return self._now
+
+    def charge(self, charge: CostCharge) -> float:
+        seconds = self.model.seconds(charge)
+        self._now += seconds
+        self.total_charge += charge
+        return seconds
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigError(f"cannot sleep a negative time: {seconds}")
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Alias of :meth:`sleep` for non-idle administrative jumps."""
+        self.sleep(seconds)
+
+
+class WallClock:
+    """Real-time clock; charges are tallied but do not move time."""
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+        self.total_charge = CostCharge()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def charge(self, charge: CostCharge) -> float:
+        self.total_charge += charge
+        return 0.0
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigError(f"cannot sleep a negative time: {seconds}")
+        time.sleep(seconds)
+
+
+class Stopwatch:
+    """Measures elapsed time on any clock between :meth:`start`/``stop``.
+
+    Usable as a context manager::
+
+        with Stopwatch(clock) as watch:
+            ...work...
+        elapsed = watch.elapsed
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._started_at: float | None = None
+        self.elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._started_at = self._clock.now()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise ConfigError("stopwatch stopped before being started")
+        self.elapsed = self._clock.now() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

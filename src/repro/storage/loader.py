@@ -1,0 +1,186 @@
+"""Data generation and loading.
+
+The paper's table is ``R(A1..A10)`` with 10^8 uniform integers in
+[1, 10^8] per column.  :func:`generate_uniform_column` reproduces that
+distribution at any scale; skewed and clustered generators support the
+extension studies; :func:`load_csv` exists so the library is usable on
+real data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SchemaError, WorkloadError
+from repro.storage.column import Column
+from repro.storage.dtypes import INT32, INT64, ColumnType, type_by_name
+from repro.storage.table import Table
+
+
+def generate_uniform_column(
+    name: str,
+    rows: int,
+    low: int = 1,
+    high: int = 100_000_000,
+    seed: int | None = None,
+    ctype: ColumnType = INT64,
+) -> Column:
+    """A column of ``rows`` uniform integers in ``[low, high]``.
+
+    This reproduces the paper's data distribution (defaults match the
+    paper's domain).  ``int64`` is the default physical type to keep
+    headroom at reduced scales.
+
+    Raises:
+        WorkloadError: if ``rows`` is negative or the range is empty.
+    """
+    if rows < 0:
+        raise WorkloadError(f"rows must be >= 0, got {rows}")
+    if high < low:
+        raise WorkloadError(f"empty value range [{low}, {high}]")
+    rng = np.random.default_rng(seed)
+    values = rng.integers(low, high + 1, size=rows, dtype=np.int64)
+    return Column(name, values, ctype)
+
+
+def generate_zipf_column(
+    name: str,
+    rows: int,
+    domain: int = 1_000_000,
+    exponent: float = 1.2,
+    seed: int | None = None,
+    ctype: ColumnType = INT64,
+) -> Column:
+    """A column of Zipf-distributed integers in ``[1, domain]``.
+
+    Used by the skewed-workload extension benches: hot values cluster
+    at the low end of the domain.
+
+    Raises:
+        WorkloadError: if parameters are out of range.
+    """
+    if rows < 0:
+        raise WorkloadError(f"rows must be >= 0, got {rows}")
+    if domain <= 0:
+        raise WorkloadError(f"domain must be positive, got {domain}")
+    if exponent <= 1.0:
+        raise WorkloadError(f"zipf exponent must be > 1, got {exponent}")
+    rng = np.random.default_rng(seed)
+    raw = rng.zipf(exponent, size=rows)
+    values = np.minimum(raw, domain).astype(np.int64)
+    return Column(name, values, ctype)
+
+
+def generate_clustered_column(
+    name: str,
+    rows: int,
+    clusters: int = 10,
+    cluster_width: int = 1_000,
+    seed: int | None = None,
+    ctype: ColumnType = INT64,
+) -> Column:
+    """A column whose values concentrate around ``clusters`` centers.
+
+    Models time-ordered log data where bursts of similar values arrive
+    together (the paper's web-log motivation).
+
+    Raises:
+        WorkloadError: if parameters are out of range.
+    """
+    if rows < 0:
+        raise WorkloadError(f"rows must be >= 0, got {rows}")
+    if clusters <= 0 or cluster_width <= 0:
+        raise WorkloadError("clusters and cluster_width must be positive")
+    rng = np.random.default_rng(seed)
+    centers = rng.integers(
+        cluster_width, clusters * cluster_width * 10, size=clusters
+    )
+    assignment = rng.integers(0, clusters, size=rows)
+    noise = rng.integers(-cluster_width, cluster_width + 1, size=rows)
+    values = np.maximum(1, centers[assignment] + noise).astype(np.int64)
+    return Column(name, values, ctype)
+
+
+def build_paper_table(
+    rows: int,
+    columns: int = 10,
+    low: int = 1,
+    high: int = 100_000_000,
+    seed: int = 42,
+    name: str = "R",
+) -> Table:
+    """The paper's relation ``R(A1..A10)`` at a chosen scale.
+
+    Each attribute gets an independent uniform stream derived from
+    ``seed`` so experiments are reproducible.
+
+    Raises:
+        WorkloadError: if ``columns`` is not positive.
+    """
+    if columns <= 0:
+        raise WorkloadError(f"columns must be positive, got {columns}")
+    table = Table(name)
+    for i in range(1, columns + 1):
+        column = generate_uniform_column(
+            f"A{i}", rows, low=low, high=high, seed=seed + i
+        )
+        table.add_column(column)
+    return table
+
+
+def load_csv(
+    path: str | Path,
+    table_name: str,
+    column_types: dict[str, str] | None = None,
+) -> Table:
+    """Load a headed CSV file into a new table.
+
+    Args:
+        path: CSV file with a header row.
+        table_name: name for the created table.
+        column_types: optional ``{column: type-name}`` overrides; any
+            column not listed is parsed as ``int64``.
+
+    Raises:
+        SchemaError: on an empty file or unparsable values.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty CSV file") from None
+        raw_columns: list[list[str]] = [[] for _ in header]
+        for row in reader:
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"{path}: ragged row with {len(row)} fields, "
+                    f"expected {len(header)}"
+                )
+            for i, field in enumerate(row):
+                raw_columns[i].append(field)
+
+    overrides = column_types or {}
+    table = Table(table_name)
+    for name, raw in zip(header, raw_columns):
+        ctype = type_by_name(overrides.get(name, INT64.name))
+        try:
+            if ctype.is_integer:
+                parsed = np.array([int(v) for v in raw], dtype=np.int64)
+            else:
+                parsed = np.array([float(v) for v in raw])
+        except ValueError as exc:
+            raise SchemaError(f"{path}: column {name!r}: {exc}") from None
+        table.add_column(Column(name, parsed, ctype))
+    return table
+
+
+def infer_int_type(low: int, high: int) -> ColumnType:
+    """Smallest supported integer type covering ``[low, high]``."""
+    if low >= np.iinfo(np.int32).min and high <= np.iinfo(np.int32).max:
+        return INT32
+    return INT64

@@ -1,0 +1,134 @@
+"""Delta stores for pending updates.
+
+Cracked columns cannot absorb inserts in place without violating their
+piece invariants, so -- following "Updating a Cracked Database" (Idreos
+et al., SIGMOD 2007, cited as [11] by the paper) -- updates are staged
+in per-column delta structures and merged into indexes lazily, when a
+query actually touches the affected value range.
+
+:class:`PendingUpdates` holds the pending insert and delete sets for
+one column.  Queries consult it to stay correct before the merge
+happens (`select` results = index result + pending inserts in range -
+pending deletes in range).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.storage.dtypes import ColumnType, coerce_array
+
+
+class PendingUpdates:
+    """Pending inserts and deletes for a single column.
+
+    Inserts are (value) records appended to the column; deletes are
+    base-array positions.  Both are kept sorted by value (inserts) /
+    position (deletes) so range lookups are logarithmic.
+    """
+
+    def __init__(self, ctype: ColumnType) -> None:
+        self._ctype = ctype
+        self._insert_values = np.empty(0, dtype=ctype.numpy_dtype)
+        self._delete_positions = np.empty(0, dtype=np.int64)
+        self._deleted_values = np.empty(0, dtype=ctype.numpy_dtype)
+
+    # -- staging -------------------------------------------------------
+
+    def stage_inserts(self, values: object) -> int:
+        """Stage values for insertion; returns how many were staged."""
+        fresh = coerce_array(np.asarray(values), self._ctype)
+        self._insert_values = np.sort(
+            np.concatenate([self._insert_values, fresh])
+        )
+        return len(fresh)
+
+    def stage_deletes(self, positions: object, values: object) -> int:
+        """Stage base-array positions (with their values) for deletion.
+
+        Raises:
+            SchemaError: if positions and values differ in length.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        vals = coerce_array(np.asarray(values), self._ctype)
+        if len(pos) != len(vals):
+            raise SchemaError(
+                f"positions ({len(pos)}) and values ({len(vals)}) "
+                "must align"
+            )
+        order = np.argsort(vals, kind="stable")
+        self._delete_positions = np.concatenate(
+            [self._delete_positions, pos[order]]
+        )
+        self._deleted_values = np.sort(
+            np.concatenate([self._deleted_values, vals])
+        )
+        return len(pos)
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def pending_insert_count(self) -> int:
+        return len(self._insert_values)
+
+    @property
+    def pending_delete_count(self) -> int:
+        return len(self._deleted_values)
+
+    def has_pending(self) -> bool:
+        return self.pending_insert_count > 0 or self.pending_delete_count > 0
+
+    def inserts_in_range(self, low: float, high: float) -> np.ndarray:
+        """Pending inserted values v with ``low <= v < high`` (sorted)."""
+        lo = np.searchsorted(self._insert_values, low, side="left")
+        hi = np.searchsorted(self._insert_values, high, side="left")
+        return self._insert_values[lo:hi]
+
+    def deletes_in_range(self, low: float, high: float) -> np.ndarray:
+        """Pending deleted values v with ``low <= v < high`` (sorted)."""
+        lo = np.searchsorted(self._deleted_values, low, side="left")
+        hi = np.searchsorted(self._deleted_values, high, side="left")
+        return self._deleted_values[lo:hi]
+
+    # -- consumption ---------------------------------------------------
+
+    def take_inserts_in_range(self, low: float, high: float) -> np.ndarray:
+        """Remove and return pending inserts in ``[low, high)``.
+
+        This is the ripple-merge consumption path: an adaptive index
+        merging a value range takes exactly the pending entries it is
+        about to absorb.
+        """
+        lo = np.searchsorted(self._insert_values, low, side="left")
+        hi = np.searchsorted(self._insert_values, high, side="left")
+        taken = self._insert_values[lo:hi].copy()
+        self._insert_values = np.delete(
+            self._insert_values, np.s_[lo:hi]
+        )
+        return taken
+
+    def take_deletes_in_range(self, low: float, high: float) -> np.ndarray:
+        """Remove and return pending deleted values in ``[low, high)``."""
+        lo = np.searchsorted(self._deleted_values, low, side="left")
+        hi = np.searchsorted(self._deleted_values, high, side="left")
+        taken = self._deleted_values[lo:hi].copy()
+        self._deleted_values = np.delete(
+            self._deleted_values, np.s_[lo:hi]
+        )
+        mask = np.ones(len(self._delete_positions), dtype=bool)
+        mask[lo:hi] = False
+        self._delete_positions = self._delete_positions[mask]
+        return taken
+
+    def clear(self) -> None:
+        """Drop all pending entries (after a full rebuild)."""
+        self._insert_values = np.empty(0, dtype=self._ctype.numpy_dtype)
+        self._delete_positions = np.empty(0, dtype=np.int64)
+        self._deleted_values = np.empty(0, dtype=self._ctype.numpy_dtype)
+
+    def __repr__(self) -> str:
+        return (
+            f"PendingUpdates(inserts={self.pending_insert_count}, "
+            f"deletes={self.pending_delete_count})"
+        )

@@ -1,0 +1,142 @@
+"""Selection results as views.
+
+MonetDB's select operator returns candidate *views* rather than copied
+values, and the paper's offline numbers (10 us per indexed query over
+10^8 rows) only make sense under view semantics.  We mirror that: range
+selects over sorted or cracked columns return a :class:`RangeView`
+(contiguous slice, O(1) to create), while scan selects return a
+:class:`PositionsView` (qualifying row ids).  Materialization is an
+explicit, separately-charged step.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import QueryError
+
+
+@runtime_checkable
+class SelectionResult(Protocol):
+    """Common interface of all select-operator outputs."""
+
+    @property
+    def count(self) -> int:
+        """Number of qualifying rows."""
+        ...
+
+    def values(self) -> np.ndarray:
+        """Qualifying values (may copy; prefer :attr:`count` if unused)."""
+        ...
+
+    def positions(self) -> np.ndarray | None:
+        """Qualifying row ids in the base table, or None if untracked."""
+        ...
+
+
+class RangeView:
+    """A contiguous slice of a (cracked or sorted) value array.
+
+    Creating the view is O(1); reading :meth:`values` slices lazily.
+    ``rowids`` carries the cracker map (base-table positions aligned
+    with the value array) when the index maintains one.
+    """
+
+    __slots__ = ("_array", "start", "end", "_rowids")
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        start: int,
+        end: int,
+        rowids: np.ndarray | None = None,
+    ) -> None:
+        if start < 0 or end < start or end > len(array):
+            raise QueryError(
+                f"invalid view bounds [{start}, {end}) over {len(array)} rows"
+            )
+        self._array = array
+        self.start = start
+        self.end = end
+        self._rowids = rowids
+
+    @property
+    def count(self) -> int:
+        return self.end - self.start
+
+    def values(self) -> np.ndarray:
+        return self._array[self.start : self.end]
+
+    def positions(self) -> np.ndarray | None:
+        if self._rowids is None:
+            return None
+        return self._rowids[self.start : self.end]
+
+    def __repr__(self) -> str:
+        return f"RangeView([{self.start}, {self.end}), count={self.count})"
+
+
+class PositionsView:
+    """Qualifying row positions over a base array (scan-select output)."""
+
+    __slots__ = ("_array", "_positions")
+
+    def __init__(self, array: np.ndarray, positions: np.ndarray) -> None:
+        self._array = array
+        self._positions = positions
+
+    @property
+    def count(self) -> int:
+        return len(self._positions)
+
+    def values(self) -> np.ndarray:
+        return self._array[self._positions]
+
+    def positions(self) -> np.ndarray:
+        return self._positions
+
+    def __repr__(self) -> str:
+        return f"PositionsView(count={self.count})"
+
+
+class MaterializedResult:
+    """An already-copied result (e.g. merged with pending updates)."""
+
+    __slots__ = ("_values", "_positions")
+
+    def __init__(
+        self, values: np.ndarray, positions: np.ndarray | None = None
+    ) -> None:
+        self._values = values
+        self._positions = positions
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def values(self) -> np.ndarray:
+        return self._values
+
+    def positions(self) -> np.ndarray | None:
+        return self._positions
+
+    def __repr__(self) -> str:
+        return f"MaterializedResult(count={self.count})"
+
+
+def concat_results(
+    first: SelectionResult, second: SelectionResult
+) -> MaterializedResult:
+    """Concatenate two selection results into one materialized result.
+
+    Positions are preserved only if both inputs carry them.
+    """
+    values = np.concatenate([first.values(), second.values()])
+    pos_a = first.positions()
+    pos_b = second.positions()
+    positions = None
+    if pos_a is not None and pos_b is not None:
+        positions = np.concatenate([pos_a, pos_b])
+    return MaterializedResult(values, positions)

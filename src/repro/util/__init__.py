@@ -1,0 +1,5 @@
+"""Shared utilities (interval sets, misc helpers)."""
+
+from repro.util.intervals import IntervalSet
+
+__all__ = ["IntervalSet"]

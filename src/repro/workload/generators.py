@@ -1,0 +1,210 @@
+"""Range-query generators.
+
+The paper's workload: range selects of 1% selectivity with a uniformly
+random position in the value domain, over either one column (Exp1) or
+ten columns visited round-robin (Exp2).  Beyond those, skewed,
+sequential and shifting generators support the robustness ablations
+(sequential ranges are adaptive indexing's worst case, cf. stochastic
+cracking [10]).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.engine.query import RangeQuery
+from repro.errors import WorkloadError
+from repro.storage.catalog import ColumnRef
+
+
+def _check_selectivity(selectivity: float) -> None:
+    if not 0.0 < selectivity <= 1.0:
+        raise WorkloadError(
+            f"selectivity must be in (0, 1], got {selectivity}"
+        )
+
+
+class UniformRangeGenerator:
+    """Random-position range queries of fixed selectivity (the paper's).
+
+    Args:
+        ref: the column to query.
+        domain_low / domain_high: the column's value domain.
+        selectivity: fraction of the domain each query covers.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        ref: ColumnRef,
+        domain_low: float,
+        domain_high: float,
+        selectivity: float = 0.01,
+        seed: int | None = None,
+    ) -> None:
+        _check_selectivity(selectivity)
+        if domain_high <= domain_low:
+            raise WorkloadError(
+                f"empty domain [{domain_low}, {domain_high}]"
+            )
+        self.ref = ref
+        self.domain_low = float(domain_low)
+        self.domain_high = float(domain_high)
+        self.span = (self.domain_high - self.domain_low) * selectivity
+        self._rng = np.random.default_rng(seed)
+
+    def next_query(self) -> RangeQuery:
+        low = float(
+            self._rng.uniform(self.domain_low, self.domain_high - self.span)
+        )
+        return RangeQuery(self.ref, low, low + self.span)
+
+    def queries(self, count: int) -> Iterator[RangeQuery]:
+        for _ in range(count):
+            yield self.next_query()
+
+
+class SkewedRangeGenerator:
+    """Zipf-skewed range positions: a few hot regions get most queries.
+
+    The domain is divided into ``regions``; region popularity follows a
+    Zipf law; within a region, positions are uniform.
+    """
+
+    def __init__(
+        self,
+        ref: ColumnRef,
+        domain_low: float,
+        domain_high: float,
+        selectivity: float = 0.01,
+        regions: int = 100,
+        exponent: float = 1.5,
+        seed: int | None = None,
+    ) -> None:
+        _check_selectivity(selectivity)
+        if regions <= 0:
+            raise WorkloadError(f"regions must be positive, got {regions}")
+        if exponent <= 1.0:
+            raise WorkloadError(f"zipf exponent must be > 1: {exponent}")
+        if domain_high <= domain_low:
+            raise WorkloadError(
+                f"empty domain [{domain_low}, {domain_high}]"
+            )
+        self.ref = ref
+        self.domain_low = float(domain_low)
+        self.domain_high = float(domain_high)
+        self.span = (self.domain_high - self.domain_low) * selectivity
+        self.regions = regions
+        self.exponent = exponent
+        self._rng = np.random.default_rng(seed)
+        self._region_width = (
+            self.domain_high - self.domain_low
+        ) / regions
+
+    def next_query(self) -> RangeQuery:
+        region = int(self._rng.zipf(self.exponent)) - 1
+        region = min(region, self.regions - 1)
+        region_low = self.domain_low + region * self._region_width
+        region_high = min(
+            region_low + self._region_width, self.domain_high - self.span
+        )
+        region_high = max(region_high, region_low)
+        low = float(self._rng.uniform(region_low, region_high))
+        high = min(low + self.span, self.domain_high)
+        return RangeQuery(self.ref, low, high)
+
+    def queries(self, count: int) -> Iterator[RangeQuery]:
+        for _ in range(count):
+            yield self.next_query()
+
+
+class SequentialRangeGenerator:
+    """A left-to-right range sweep: plain cracking's worst case."""
+
+    def __init__(
+        self,
+        ref: ColumnRef,
+        domain_low: float,
+        domain_high: float,
+        selectivity: float = 0.01,
+        overlap: float = 0.0,
+    ) -> None:
+        _check_selectivity(selectivity)
+        if not 0.0 <= overlap < 1.0:
+            raise WorkloadError(f"overlap must be in [0, 1): {overlap}")
+        if domain_high <= domain_low:
+            raise WorkloadError(
+                f"empty domain [{domain_low}, {domain_high}]"
+            )
+        self.ref = ref
+        self.domain_low = float(domain_low)
+        self.domain_high = float(domain_high)
+        self.span = (self.domain_high - self.domain_low) * selectivity
+        self.step = self.span * (1.0 - overlap)
+        self._cursor = self.domain_low
+
+    def next_query(self) -> RangeQuery:
+        low = self._cursor
+        high = min(low + self.span, self.domain_high)
+        self._cursor += self.step
+        if self._cursor + self.span > self.domain_high:
+            self._cursor = self.domain_low
+        return RangeQuery(self.ref, low, high)
+
+    def queries(self, count: int) -> Iterator[RangeQuery]:
+        for _ in range(count):
+            yield self.next_query()
+
+
+class MultiColumnGenerator:
+    """Round-robin (or weighted) column choice over per-column generators.
+
+    Exp2's workload: queries visit A1..A10 in round-robin order, each
+    with uniform random ranges.
+    """
+
+    def __init__(
+        self,
+        generators: list[UniformRangeGenerator],
+        mode: str = "round_robin",
+        weights: list[float] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if not generators:
+            raise WorkloadError("need at least one per-column generator")
+        if mode not in ("round_robin", "weighted"):
+            raise WorkloadError(
+                f"unknown mode {mode!r}; supported: round_robin, weighted"
+            )
+        if mode == "weighted":
+            if weights is None or len(weights) != len(generators):
+                raise WorkloadError(
+                    "weighted mode needs one weight per generator"
+                )
+            total = float(sum(weights))
+            if total <= 0:
+                raise WorkloadError("weights must sum to a positive value")
+            self._probabilities = [w / total for w in weights]
+        else:
+            self._probabilities = None
+        self.generators = generators
+        self.mode = mode
+        self._rng = np.random.default_rng(seed)
+        self._cursor = 0
+
+    def next_query(self) -> RangeQuery:
+        if self.mode == "round_robin":
+            generator = self.generators[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self.generators)
+        else:
+            chosen = self._rng.choice(
+                len(self.generators), p=self._probabilities
+            )
+            generator = self.generators[int(chosen)]
+        return generator.next_query()
+
+    def queries(self, count: int) -> Iterator[RangeQuery]:
+        for _ in range(count):
+            yield self.next_query()

@@ -1,0 +1,172 @@
+"""The paper's experiment workload patterns, parameterized by scale.
+
+``Exp1Pattern`` reproduces Section 4, Exp1: one column, random 1%
+range queries, an idle window of X random refinement actions before
+the first query and after every 100 queries.
+
+``Exp2Pattern`` reproduces Exp2: ten columns queried round-robin, with
+all idle time concentrated a priori (enough to fully sort exactly two
+columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.engine.query import RangeQuery
+from repro.errors import WorkloadError
+from repro.offline.whatif import WorkloadStatement
+from repro.storage.catalog import ColumnRef
+from repro.storage.table import Table
+from repro.workload.generators import (
+    MultiColumnGenerator,
+    UniformRangeGenerator,
+)
+from repro.workload.stream import IdleEvent, QueryEvent, WorkloadEvent
+
+
+@dataclass(slots=True)
+class Exp1Pattern:
+    """Single-column pattern of the paper's Exp1 / Figure 3 / Table 2.
+
+    Attributes:
+        table / column: the queried column (paper: R.A1).
+        domain_low / domain_high: value domain (paper: [1, 10^8]).
+        query_count: number of queries (paper: 10^4).
+        selectivity: per-query selectivity (paper: 1%).
+        refinements_per_idle: X, the refinement actions per idle window.
+        idle_every: queries between idle windows (paper: 100).
+        seed: workload RNG seed.
+    """
+
+    table: str = "R"
+    column: str = "A1"
+    domain_low: float = 1.0
+    domain_high: float = 100_000_000.0
+    query_count: int = 10_000
+    selectivity: float = 0.01
+    refinements_per_idle: int = 10
+    idle_every: int = 100
+    seed: int = 7
+
+    def ref(self) -> ColumnRef:
+        return ColumnRef(self.table, self.column)
+
+    def queries(self) -> Iterator[RangeQuery]:
+        generator = UniformRangeGenerator(
+            self.ref(),
+            self.domain_low,
+            self.domain_high,
+            self.selectivity,
+            seed=self.seed,
+        )
+        return generator.queries(self.query_count)
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        """Queries interleaved with action-budget idle windows."""
+        idle = IdleEvent(actions=self.refinements_per_idle)
+        yield idle
+        for i, query in enumerate(self.queries(), start=1):
+            yield QueryEvent(query)
+            if i % self.idle_every == 0 and i < self.query_count:
+                yield idle
+
+    def statements(self) -> list[WorkloadStatement]:
+        """The a-priori knowledge form: one weighted statement."""
+        mid = (self.domain_low + self.domain_high) / 2
+        span = (self.domain_high - self.domain_low) * self.selectivity
+        return [
+            WorkloadStatement(
+                self.ref(), mid, mid + span, weight=float(self.query_count)
+            )
+        ]
+
+
+@dataclass(slots=True)
+class Exp2Pattern:
+    """Multi-column pattern of the paper's Exp2 / Figure 4.
+
+    Attributes:
+        table: the queried table (paper: R with A1..A10).
+        columns: attribute names in round-robin order; default A1..A10.
+        domain_low / domain_high: shared value domain.
+        query_count: total queries across all columns (paper: 10^4).
+        selectivity: per-query selectivity (paper: 1%).
+        cracks_per_column: holistic's a-priori refinements per column
+            (paper: 100).
+        full_indexes_that_fit: how many complete sorts the a-priori
+            idle window can hold (paper: 2).
+        seed: workload RNG seed.
+    """
+
+    table: str = "R"
+    columns: list[str] = field(
+        default_factory=lambda: [f"A{i}" for i in range(1, 11)]
+    )
+    domain_low: float = 1.0
+    domain_high: float = 100_000_000.0
+    query_count: int = 10_000
+    selectivity: float = 0.01
+    cracks_per_column: int = 100
+    full_indexes_that_fit: int = 2
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise WorkloadError("Exp2Pattern needs at least one column")
+        if self.full_indexes_that_fit > len(self.columns):
+            raise WorkloadError(
+                "cannot fit more full indexes than there are columns"
+            )
+
+    def refs(self) -> list[ColumnRef]:
+        return [ColumnRef(self.table, name) for name in self.columns]
+
+    def queries(self) -> Iterator[RangeQuery]:
+        generators = [
+            UniformRangeGenerator(
+                ref,
+                self.domain_low,
+                self.domain_high,
+                self.selectivity,
+                seed=self.seed + i,
+            )
+            for i, ref in enumerate(self.refs())
+        ]
+        multi = MultiColumnGenerator(generators, mode="round_robin")
+        return multi.queries(self.query_count)
+
+    def statements(self) -> list[WorkloadStatement]:
+        """Equal-weight statements: "all columns matter equally"."""
+        mid = (self.domain_low + self.domain_high) / 2
+        span = (self.domain_high - self.domain_low) * self.selectivity
+        weight = float(self.query_count) / len(self.columns)
+        return [
+            WorkloadStatement(ref, mid, mid + span, weight=weight)
+            for ref in self.refs()
+        ]
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        """Queries only; Exp2's idle time is handled a priori by the
+        bench (its length depends on the strategy's build costs)."""
+        for query in self.queries():
+            yield QueryEvent(query)
+
+
+def verify_table_matches(pattern: Exp1Pattern | Exp2Pattern, table: Table) -> None:
+    """Sanity-check that a pattern's columns exist on ``table``.
+
+    Raises:
+        WorkloadError: when a referenced column is missing.
+    """
+    if isinstance(pattern, Exp1Pattern):
+        names = [pattern.column]
+    else:
+        names = list(pattern.columns)
+    for name in names:
+        if not table.has_column(name):
+            raise WorkloadError(
+                f"table {table.name!r} lacks column {name!r} required "
+                "by the workload pattern"
+            )

@@ -1,0 +1,77 @@
+"""Unit tests for CSV export of bench results."""
+
+import csv
+
+import pytest
+
+from repro.bench.exp1 import run_exp1
+from repro.bench.exp2 import run_exp2
+from repro.bench.export import export_exp1_csv, export_exp2_csv
+from repro.config import TINY
+
+
+@pytest.fixture(scope="module")
+def exp1_result():
+    return run_exp1(TINY, x_values=(10,), seed=42)
+
+
+@pytest.fixture(scope="module")
+def exp2_result():
+    return run_exp2(TINY, seed=42)
+
+
+def test_exp1_export_layout(exp1_result, tmp_path):
+    written = export_exp1_csv(exp1_result, tmp_path)
+    names = {p.name for p in written}
+    assert names == {"figure3_x10.csv", "table2.csv"}
+    with (tmp_path / "figure3_x10.csv").open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["query", "scan", "offline", "adaptive", "holistic"]
+    assert len(rows) == 1 + TINY.query_count
+    assert rows[1][0] == "1"
+    # Cumulative: last scan value exceeds the first.
+    assert float(rows[-1][1]) > float(rows[1][1])
+
+
+def test_exp1_table2_csv(exp1_result, tmp_path):
+    export_exp1_csv(exp1_result, tmp_path)
+    with (tmp_path / "table2.csv").open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["indexing", "x10_total_s"]
+    by_strategy = {row[0]: float(row[1]) for row in rows[1:]}
+    assert by_strategy["scan"] > by_strategy["holistic"]
+
+
+def test_exp2_export(exp2_result, tmp_path):
+    path = export_exp2_csv(exp2_result, tmp_path)
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["query", "offline", "holistic"]
+    assert len(rows) == 1 + TINY.query_count
+    # Final gap visible in the data.
+    assert float(rows[-1][1]) > float(rows[-1][2])
+
+
+def test_export_creates_directory(exp2_result, tmp_path):
+    target = tmp_path / "nested" / "dir"
+    path = export_exp2_csv(exp2_result, target)
+    assert path.exists()
+
+
+def test_cli_csv_option(tmp_path, capsys):
+    from repro.bench.runner import main
+
+    assert (
+        main(
+            [
+                "exp2",
+                "--scale",
+                "tiny",
+                "--csv-dir",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    assert (tmp_path / "figure4.csv").exists()
+    assert "wrote" in capsys.readouterr().out

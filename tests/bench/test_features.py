@@ -1,0 +1,43 @@
+"""Acceptance test for Table 1: the feature matrix."""
+
+from repro.bench.features import (
+    PAPER_TABLE1,
+    collect_features,
+    table1_text,
+)
+
+
+def test_matrix_matches_paper_exactly():
+    for features in collect_features():
+        expected = PAPER_TABLE1[features.name]
+        got = (
+            features.statistical_analysis,
+            features.idle_a_priori,
+            features.idle_during_workload,
+            features.incremental_indexing,
+            features.workload,
+        )
+        assert got == expected, f"{features.name} row diverges"
+
+
+def test_all_four_strategies_present():
+    names = [f.name for f in collect_features()]
+    assert names == ["offline", "online", "adaptive", "holistic"]
+
+
+def test_holistic_is_the_only_all_yes_row():
+    for features in collect_features():
+        all_yes = (
+            features.statistical_analysis
+            and features.idle_a_priori
+            and features.idle_during_workload
+            and features.incremental_indexing
+        )
+        assert all_yes == (features.name == "holistic")
+
+
+def test_rendering_contains_every_row():
+    text = table1_text()
+    for name in ("Offline", "Online", "Adaptive", "Holistic"):
+        assert name in text
+    assert "static" in text and "dynamic" in text

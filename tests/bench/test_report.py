@@ -1,0 +1,56 @@
+"""Unit tests for report rendering."""
+
+from repro.bench.report import (
+    curve_at_ranks,
+    format_seconds,
+    format_series_table,
+    format_table,
+    log_spaced_ranks,
+)
+
+
+def test_format_seconds_units():
+    assert format_seconds(123.4) == "123 s"
+    assert format_seconds(12.34) == "12.3 s"
+    assert format_seconds(0.01234) == "12.3 ms"
+    assert format_seconds(0.00001234) == "12.3 us"
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_log_spaced_ranks_shape():
+    ranks = log_spaced_ranks(10_000)
+    assert ranks[0] == 1
+    assert ranks[-1] == 10_000
+    assert 10 in ranks and 100 in ranks and 1_000 in ranks
+    assert ranks == sorted(set(ranks))
+
+
+def test_log_spaced_ranks_small_n():
+    assert log_spaced_ranks(1) == [1]
+    ranks = log_spaced_ranks(7)
+    assert ranks[-1] == 7
+
+
+def test_curve_at_ranks_samples_one_indexed():
+    curve = [float(i) for i in range(1, 101)]
+    assert curve_at_ranks(curve, [1, 10, 100]) == [1.0, 10.0, 100.0]
+    # Ranks beyond the curve are dropped.
+    assert curve_at_ranks(curve, [1, 500]) == [1.0]
+
+
+def test_format_series_table_layout():
+    text = format_series_table(
+        "Figure X",
+        [1, 2],
+        {"scan": [0.5, 1.0], "holistic": [0.1, 0.2]},
+    )
+    assert "Figure X" in text
+    assert "scan" in text and "holistic" in text
+    assert "0.5" in text

@@ -1,0 +1,111 @@
+"""Unit tests for the hybrid crack-sort index."""
+
+import numpy as np
+import pytest
+
+from repro.cracking.hybrid import HybridCrackSortIndex, merge_sorted_into
+from repro.errors import ConfigError, QueryError
+from repro.simtime.clock import SimClock
+
+from tests.conftest import ground_truth_count
+
+
+@pytest.fixture
+def hybrid(small_column) -> HybridCrackSortIndex:
+    return HybridCrackSortIndex(
+        small_column, clock=SimClock(), chunk_rows=1_000
+    )
+
+
+def test_chunking(small_column, hybrid):
+    assert hybrid.chunk_count == small_column.row_count // 1_000
+
+
+def test_first_select_migrates_and_answers(hybrid, small_column):
+    low, high = 10_000_000, 30_000_000
+    view = hybrid.select_range(low, high)
+    expected = ground_truth_count(small_column, low, high)
+    assert view.count == expected
+    assert hybrid.final_row_count == expected
+    assert hybrid.is_covered(low, high)
+    # Final store is sorted.
+    final = hybrid.final_values
+    assert np.all(final[:-1] <= final[1:])
+
+
+def test_covered_requery_does_not_grow_final(hybrid):
+    low, high = 10_000_000, 30_000_000
+    hybrid.select_range(low, high)
+    rows_after_first = hybrid.final_row_count
+    merges_after_first = hybrid.merges
+    view = hybrid.select_range(low + 1_000, high - 1_000)
+    assert hybrid.final_row_count == rows_after_first
+    assert hybrid.merges == merges_after_first
+    assert view.count > 0
+
+
+def test_partial_overlap_merges_only_gaps(hybrid, small_column):
+    hybrid.select_range(10_000_000, 30_000_000)
+    view = hybrid.select_range(20_000_000, 40_000_000)
+    assert view.count == ground_truth_count(
+        small_column, 20_000_000, 40_000_000
+    )
+    assert hybrid.is_covered(10_000_000, 40_000_000)
+    expected_total = ground_truth_count(
+        small_column, 10_000_000, 40_000_000
+    )
+    assert hybrid.final_row_count == expected_total
+
+
+def test_random_queries_match_ground_truth(hybrid, small_column, rng):
+    for _ in range(50):
+        low = float(rng.uniform(1, 9e7))
+        high = low + float(rng.uniform(0, 1.5e7))
+        view = hybrid.select_range(low, high)
+        assert view.count == ground_truth_count(
+            small_column, low, high
+        )
+
+
+def test_covered_queries_get_cheap(hybrid):
+    clock = hybrid.clock
+    hybrid.select_range(10_000_000, 90_000_000)
+    t0 = clock.now()
+    hybrid.select_range(20_000_000, 80_000_000)
+    probe_cost = clock.now() - t0
+    assert probe_cost < 1e-3
+
+
+def test_inverted_range_rejected(hybrid):
+    with pytest.raises(QueryError):
+        hybrid.select_range(10, 5)
+
+
+def test_bad_chunk_rows_rejected(small_column):
+    with pytest.raises(ConfigError):
+        HybridCrackSortIndex(small_column, chunk_rows=0)
+
+
+def test_merge_sorted_into_correctness(rng):
+    left = np.sort(rng.integers(0, 1_000, 500)).astype(np.int64)
+    right = np.sort(rng.integers(0, 1_000, 300)).astype(np.int64)
+    out = np.empty(800, dtype=np.int64)
+    merge_sorted_into(left, right, out)
+    assert np.array_equal(out, np.sort(np.concatenate([left, right])))
+
+
+def test_merge_sorted_into_validates_size():
+    with pytest.raises(QueryError):
+        merge_sorted_into(
+            np.array([1]), np.array([2]), np.empty(3, dtype=np.int64)
+        )
+
+
+def test_merge_sorted_into_empty_sides():
+    left = np.array([], dtype=np.int64)
+    right = np.array([1, 2], dtype=np.int64)
+    out = np.empty(2, dtype=np.int64)
+    merge_sorted_into(left, right, out)
+    assert out.tolist() == [1, 2]
+    merge_sorted_into(right, left, out)
+    assert out.tolist() == [1, 2]

@@ -1,0 +1,190 @@
+"""Unit tests for the cracker index."""
+
+import numpy as np
+import pytest
+
+from repro.cracking.index import CrackerIndex
+from repro.cracking.piece import CrackOrigin
+from repro.errors import QueryError
+from repro.simtime.clock import SimClock
+
+from tests.conftest import ground_truth_count
+
+
+@pytest.fixture
+def index(small_column) -> CrackerIndex:
+    return CrackerIndex(small_column, clock=SimClock())
+
+
+def test_select_returns_exact_range(index, small_column):
+    low, high = 10_000_000, 30_000_000
+    view = index.select_range(low, high)
+    assert view.count == ground_truth_count(small_column, low, high)
+    values = view.values()
+    assert np.all((values >= low) & (values < high))
+    index.check_invariants()
+
+
+def test_select_refines_index(index):
+    assert index.piece_count == 1
+    index.select_range(10_000_000, 30_000_000)
+    # Both bounds in one piece -> crack-in-three -> 3 pieces.
+    assert index.piece_count == 3
+    assert index.crack_count == 2
+
+
+def test_repeated_query_is_cheap_and_stable(index, small_column):
+    low, high = 10_000_000, 30_000_000
+    first = index.select_range(low, high)
+    cracks_after_first = index.crack_count
+    t0 = index.clock.now()
+    second = index.select_range(low, high)
+    probe_cost = index.clock.now() - t0
+    assert second.count == first.count
+    assert index.crack_count == cracks_after_first
+    # Pure piece-map lookups: orders of magnitude below a crack.
+    assert probe_cost < 1e-3
+
+
+def test_many_random_queries_match_ground_truth(index, small_column, rng):
+    for _ in range(100):
+        low = float(rng.uniform(1, 9e7))
+        high = low + float(rng.uniform(0, 1e7))
+        view = index.select_range(low, high)
+        assert view.count == ground_truth_count(small_column, low, high)
+    index.check_invariants()
+
+
+def test_query_costs_decline_as_index_refines(index, rng):
+    costs = []
+    for _ in range(60):
+        low = float(rng.uniform(1, 9.8e7))
+        t0 = index.clock.now()
+        index.select_range(low, low + 1e6)
+        costs.append(index.clock.now() - t0)
+    early = sum(costs[:10])
+    late = sum(costs[-10:])
+    assert late < early / 5
+
+
+def test_inverted_range_rejected(index):
+    with pytest.raises(QueryError, match="inverted"):
+        index.select_range(100, 50)
+
+
+def test_empty_range_allowed(index):
+    view = index.select_range(500, 500)
+    assert view.count == 0
+
+
+def test_out_of_domain_ranges(index, small_column):
+    assert index.select_range(-100, 0).count == 0
+    assert (
+        index.select_range(0, 2e8).count == small_column.row_count
+    )
+
+
+def test_random_crack_refines(index, rng):
+    before = index.piece_count
+    outcome = index.random_crack(rng)
+    assert outcome is not None
+    assert index.piece_count == before + 1
+    tape_origins = {record.origin for record in index.tape}
+    assert CrackOrigin.TUNING in tape_origins
+
+
+def test_random_crack_respects_min_piece_size(index, rng):
+    # Refuse to crack when every piece is at/below the floor.
+    outcome = index.random_crack(
+        rng, min_piece_size=index.row_count + 1
+    )
+    assert outcome is None
+
+
+def test_crack_largest_piece_targets_biggest(index, rng):
+    index.select_range(1_000_000, 2_000_000)
+    sizes_before = index.piece_map.piece_sizes()
+    biggest = max(sizes_before)
+    index.crack_largest_piece(rng)
+    sizes_after = index.piece_map.piece_sizes()
+    assert max(sizes_after) < biggest or len(sizes_after) > len(
+        sizes_before
+    )
+
+
+def test_sort_piece_at_marks_sorted(index):
+    index.select_range(40_000_000, 60_000_000)
+    piece = index.sort_piece_at(1)
+    assert piece.is_sorted
+    chunk = index.values[piece.start : piece.end]
+    assert np.all(chunk[:-1] <= chunk[1:])
+    index.check_invariants()
+
+
+def test_select_on_sorted_piece_uses_binary_search(index):
+    index.select_range(40_000_000, 60_000_000)
+    index.sort_piece_at(1)
+    cracked_before = index.clock.total_charge.elements_cracked
+    index.select_range(45_000_000, 50_000_000)
+    # No new element movement: the sorted piece splits positionally.
+    assert (
+        index.clock.total_charge.elements_cracked == cracked_before
+    )
+    index.check_invariants()
+
+
+def test_rowid_tracking_reconstructs(small_column):
+    index = CrackerIndex(
+        small_column, clock=SimClock(), track_rowids=True
+    )
+    view = index.select_range(10_000_000, 30_000_000)
+    positions = view.positions()
+    assert positions is not None
+    reconstructed = small_column.values[positions]
+    assert np.array_equal(np.sort(reconstructed), np.sort(view.values()))
+    index.check_invariants()
+
+
+def test_copy_charged_once_on_first_touch(small_column):
+    clock = SimClock()
+    index = CrackerIndex(small_column, clock=clock)
+    assert clock.total_charge.elements_materialized == 0
+    index.select_range(1_000, 2_000)
+    assert (
+        clock.total_charge.elements_materialized
+        == small_column.row_count
+    )
+    index.select_range(3_000, 4_000)
+    assert (
+        clock.total_charge.elements_materialized
+        == small_column.row_count
+    )
+
+
+def test_copy_charged_eagerly_when_requested(small_column):
+    clock = SimClock()
+    CrackerIndex(small_column, clock=clock, copy_on_first_touch=False)
+    assert (
+        clock.total_charge.elements_materialized
+        == small_column.row_count
+    )
+
+
+def test_empty_column_index(sim_clock):
+    from repro.storage.column import Column
+
+    empty = Column("E", np.array([], dtype=np.int64))
+    index = CrackerIndex(empty, clock=sim_clock)
+    assert index.select_range(0, 100).count == 0
+    assert index.random_crack(np.random.default_rng(0)) is None
+
+
+def test_remaining_cracks_estimate_monotone(index, rng):
+    before = index.remaining_cracks_estimate(1_000)
+    for _ in range(20):
+        index.random_crack(rng)
+    # Refinement reduces average piece size and piece count grows;
+    # the estimate must never report "done" while pieces are huge.
+    assert before > 0
+    assert index.is_refined_to(index.row_count)
+    assert not index.is_refined_to(1)

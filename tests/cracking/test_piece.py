@@ -1,0 +1,39 @@
+"""Unit tests for piece descriptors."""
+
+import math
+
+from repro.cracking.piece import CrackOrigin, Piece
+
+
+def test_piece_size_and_emptiness():
+    assert Piece(10, 25).size == 15
+    assert not Piece(10, 25).is_empty
+    assert Piece(10, 10).is_empty
+
+
+def test_contains_value_half_open():
+    piece = Piece(0, 10, low=5.0, high=15.0)
+    assert piece.contains_value(5.0)
+    assert piece.contains_value(14.9)
+    assert not piece.contains_value(15.0)
+    assert not piece.contains_value(4.9)
+
+
+def test_unbounded_piece_contains_everything():
+    piece = Piece(0, 10)
+    assert piece.low == -math.inf
+    assert piece.high == math.inf
+    assert piece.contains_value(-1e18)
+    assert piece.contains_value(1e18)
+
+
+def test_origin_enum_values():
+    assert CrackOrigin.QUERY.value == "query"
+    assert CrackOrigin.TUNING.value == "tuning"
+    assert CrackOrigin.MERGE.value == "merge"
+    assert CrackOrigin.SORT.value == "sort"
+
+
+def test_repr_mentions_sortedness():
+    assert "sorted" in repr(Piece(0, 10, is_sorted=True))
+    assert "sorted" not in repr(Piece(0, 10))

@@ -1,0 +1,141 @@
+"""Unit tests for the piece map."""
+
+import math
+
+import pytest
+
+from repro.cracking.piecemap import PieceMap
+from repro.errors import CrackerError
+
+
+def test_fresh_map_is_one_piece():
+    pieces = PieceMap(100)
+    assert pieces.piece_count == 1
+    assert pieces.crack_count == 0
+    piece = pieces.piece_at_index(0)
+    assert (piece.start, piece.end) == (0, 100)
+    assert piece.low == -math.inf
+    assert piece.high == math.inf
+
+
+def test_add_crack_splits_piece():
+    pieces = PieceMap(100)
+    pieces.add_crack(50.0, 42)
+    assert pieces.piece_count == 2
+    left = pieces.piece_at_index(0)
+    right = pieces.piece_at_index(1)
+    assert (left.start, left.end) == (0, 42)
+    assert (right.start, right.end) == (42, 100)
+    assert left.high == 50.0
+    assert right.low == 50.0
+
+
+def test_cracks_keep_value_and_position_order():
+    pieces = PieceMap(100)
+    pieces.add_crack(50.0, 40)
+    pieces.add_crack(25.0, 20)
+    pieces.add_crack(75.0, 70)
+    assert pieces.pivots() == [25.0, 50.0, 75.0]
+    assert pieces.cuts() == [20, 40, 70]
+    pieces.check_invariants()
+
+
+def test_duplicate_pivot_rejected():
+    pieces = PieceMap(10)
+    pieces.add_crack(5.0, 4)
+    with pytest.raises(CrackerError, match="already recorded"):
+        pieces.add_crack(5.0, 4)
+
+
+def test_out_of_piece_position_rejected():
+    pieces = PieceMap(100)
+    pieces.add_crack(50.0, 40)
+    # pivot 60 belongs to the right piece [40, 100); position 10 is not.
+    with pytest.raises(CrackerError, match="outside"):
+        pieces.add_crack(60.0, 10)
+
+
+def test_piece_for_value_navigation():
+    pieces = PieceMap(100)
+    pieces.add_crack(50.0, 40)
+    assert pieces.piece_for_value(10.0).start == 0
+    assert pieces.piece_for_value(50.0).start == 40
+    assert pieces.piece_for_value(99.0).start == 40
+
+
+def test_has_pivot_and_position_of_pivot():
+    pieces = PieceMap(100)
+    pieces.add_crack(50.0, 40)
+    assert pieces.has_pivot(50.0)
+    assert not pieces.has_pivot(49.0)
+    assert pieces.position_of_pivot(50.0) == 40
+    with pytest.raises(CrackerError):
+        pieces.position_of_pivot(49.0)
+
+
+def test_piece_sizes_and_aggregates():
+    pieces = PieceMap(100)
+    pieces.add_crack(50.0, 40)
+    pieces.add_crack(75.0, 70)
+    assert pieces.piece_sizes() == [40, 30, 30]
+    assert pieces.max_piece_size() == 40
+    assert pieces.average_piece_size() == pytest.approx(100 / 3)
+
+
+def test_sorted_flags_inherit_on_split():
+    pieces = PieceMap(100, sorted_initially=True)
+    pieces.add_crack(50.0, 40)
+    assert pieces.is_piece_sorted(0)
+    assert pieces.is_piece_sorted(1)
+    pieces.mark_unsorted(1)
+    assert not pieces.is_piece_sorted(1)
+    pieces.mark_sorted(1)
+    assert pieces.is_piece_sorted(1)
+
+
+def test_largest_unsorted_piece_skips_sorted():
+    pieces = PieceMap(100)
+    pieces.add_crack(50.0, 40)
+    pieces.mark_sorted(1)  # the 60-row piece is sorted
+    piece = pieces.largest_unsorted_piece()
+    assert piece is not None
+    assert piece.size == 40
+
+
+def test_apply_deltas_shifts_cuts():
+    pieces = PieceMap(100)
+    pieces.add_crack(50.0, 40)
+    pieces.add_crack(75.0, 70)
+    pieces.apply_deltas([5, 0, -3])
+    assert pieces.cuts() == [45, 75]
+    assert pieces.row_count == 102
+    pieces.check_invariants()
+
+
+def test_apply_deltas_validates_length_and_sizes():
+    pieces = PieceMap(100)
+    pieces.add_crack(50.0, 40)
+    with pytest.raises(CrackerError, match="deltas"):
+        pieces.apply_deltas([1])
+    with pytest.raises(CrackerError, match="below zero"):
+        pieces.apply_deltas([-41, 0])
+
+
+def test_empty_pieces_are_allowed():
+    pieces = PieceMap(100)
+    pieces.add_crack(50.0, 40)
+    pieces.add_crack(55.0, 40)  # empty piece [40, 40)
+    assert pieces.piece_sizes() == [40, 0, 60]
+    pieces.check_invariants()
+
+
+def test_negative_row_count_rejected():
+    with pytest.raises(CrackerError):
+        PieceMap(-1)
+
+
+def test_empty_map_handles_queries():
+    pieces = PieceMap(0)
+    assert pieces.piece_count == 1
+    assert pieces.piece_sizes() == [0]
+    assert pieces.average_piece_size() == 0.0

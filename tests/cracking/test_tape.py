@@ -1,0 +1,56 @@
+"""Unit tests for the cracker tape."""
+
+from repro.cracking.piece import CrackOrigin
+from repro.cracking.tape import CrackTape
+
+
+def test_record_and_count():
+    tape = CrackTape()
+    tape.record(0.5, CrackOrigin.QUERY, 10.0, 4, 100)
+    tape.record(0.7, CrackOrigin.TUNING, 20.0, 9, 50)
+    tape.record(0.9, CrackOrigin.TUNING, 30.0, 2, 25)
+    assert len(tape) == 3
+    assert tape.count() == 3
+    assert tape.count(CrackOrigin.QUERY) == 1
+    assert tape.count(CrackOrigin.TUNING) == 2
+    assert tape.count(CrackOrigin.MERGE) == 0
+
+
+def test_last_and_since():
+    tape = CrackTape()
+    assert tape.last() is None
+    tape.record(0.1, CrackOrigin.QUERY, 1.0, 0, 10)
+    tape.record(0.2, CrackOrigin.QUERY, 2.0, 1, 10)
+    assert tape.last().pivot == 2.0
+    fresh = tape.since(0.15)
+    assert [r.pivot for r in fresh] == [2.0]
+
+
+def test_iteration_preserves_order():
+    tape = CrackTape()
+    for i in range(5):
+        tape.record(float(i), CrackOrigin.SORT, float(i), i, 1)
+    assert [r.position for r in tape] == [0, 1, 2, 3, 4]
+    assert [r.position for r in tape.records()] == [0, 1, 2, 3, 4]
+
+
+def test_clear_resets_counts():
+    tape = CrackTape()
+    tape.record(0.1, CrackOrigin.MERGE, 1.0, 0, 10)
+    tape.clear()
+    assert len(tape) == 0
+    assert tape.count(CrackOrigin.MERGE) == 0
+
+
+def test_index_integration_records_origins(small_column, sim_clock):
+    from repro.cracking.index import CrackerIndex
+    import numpy as np
+
+    index = CrackerIndex(small_column, clock=sim_clock)
+    index.select_range(1_000_000, 2_000_000)
+    index.random_crack(np.random.default_rng(0))
+    assert index.tape.count(CrackOrigin.QUERY) == 2
+    assert index.tape.count(CrackOrigin.TUNING) == 1
+    # Timestamps come from the shared clock, monotonically.
+    stamps = [r.timestamp for r in index.tape]
+    assert stamps == sorted(stamps)

@@ -1,0 +1,99 @@
+"""Unit tests for the shared physical operators."""
+
+import numpy as np
+import pytest
+
+from repro.engine.operators import (
+    apply_pending,
+    multiset_difference,
+    project,
+    scan_select,
+)
+from repro.simtime.clock import SimClock
+from repro.storage.dtypes import INT64
+from repro.storage.updates import PendingUpdates
+from repro.storage.views import MaterializedResult
+
+from tests.conftest import ground_truth_count
+
+
+def test_scan_select_matches_ground_truth(small_column):
+    clock = SimClock()
+    view = scan_select(small_column.values, 1e7, 3e7, clock)
+    assert view.count == ground_truth_count(small_column, 1e7, 3e7)
+    assert clock.total_charge.elements_scanned == small_column.row_count
+
+
+def test_scan_select_returns_positions(small_column):
+    clock = SimClock()
+    view = scan_select(small_column.values, 1e7, 3e7, clock)
+    positions = view.positions()
+    values = small_column.values[positions]
+    assert np.all((values >= 1e7) & (values < 3e7))
+
+
+def test_project_materializes_and_charges(small_column):
+    clock = SimClock()
+    view = scan_select(small_column.values, 1e7, 3e7, clock)
+    before = clock.total_charge.elements_materialized
+    values = project(view, clock)
+    assert len(values) == view.count
+    assert clock.total_charge.elements_materialized == before + view.count
+
+
+def test_multiset_difference_removes_one_occurrence_each():
+    values = np.array([5, 3, 5, 7, 5], dtype=np.int64)
+    out = multiset_difference(values, np.array([5, 5], dtype=np.int64))
+    assert out.tolist() == [3, 7, 5]
+
+
+def test_multiset_difference_ignores_missing():
+    values = np.array([1, 2], dtype=np.int64)
+    out = multiset_difference(values, np.array([9], dtype=np.int64))
+    assert out.tolist() == [1, 2]
+
+
+def test_multiset_difference_empty_inputs():
+    empty = np.array([], dtype=np.int64)
+    some = np.array([1], dtype=np.int64)
+    assert multiset_difference(empty, some).tolist() == []
+    assert multiset_difference(some, empty).tolist() == [1]
+
+
+@pytest.fixture
+def pending() -> PendingUpdates:
+    return PendingUpdates(INT64)
+
+
+def test_apply_pending_without_deltas_is_identity(small_column, pending):
+    clock = SimClock()
+    view = scan_select(small_column.values, 1e7, 3e7, clock)
+    assert apply_pending(view, pending, 1e7, 3e7, clock) is view
+
+
+def test_apply_pending_adds_inserts_in_range(small_column, pending):
+    clock = SimClock()
+    pending.stage_inserts([15_000_000, 95_000_000])
+    view = scan_select(small_column.values, 1e7, 3e7, clock)
+    corrected = apply_pending(view, pending, 1e7, 3e7, clock)
+    assert isinstance(corrected, MaterializedResult)
+    assert corrected.count == view.count + 1  # only the in-range insert
+
+
+def test_apply_pending_subtracts_deletes(small_column, pending):
+    clock = SimClock()
+    victim = int(small_column.values[0])
+    pending.stage_deletes([0], [victim])
+    view = scan_select(small_column.values, victim, victim + 1, clock)
+    corrected = apply_pending(
+        view, pending, victim, victim + 1, clock
+    )
+    assert corrected.count == view.count - 1
+
+
+def test_apply_pending_out_of_range_deltas_ignored(small_column, pending):
+    clock = SimClock()
+    pending.stage_inserts([99_999_999])
+    view = scan_select(small_column.values, 1e7, 3e7, clock)
+    corrected = apply_pending(view, pending, 1e7, 3e7, clock)
+    assert corrected is view

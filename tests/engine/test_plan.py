@@ -1,0 +1,41 @@
+"""Unit tests for access-path planning and EXPLAIN."""
+
+from repro.engine.plan import (
+    AccessPath,
+    PlannedQuery,
+    estimate_path_cost,
+)
+from repro.engine.query import RangeQuery
+from repro.simtime.model import CostModel
+from repro.storage.catalog import ColumnRef
+
+
+def test_path_cost_ordering():
+    model = CostModel()
+    n = 100_000_000
+    scan = estimate_path_cost(AccessPath.SCAN, n, model)
+    probe = estimate_path_cost(AccessPath.FULL_INDEX, n, model)
+    crack = estimate_path_cost(AccessPath.CRACKER, n, model)
+    wait = estimate_path_cost(AccessPath.WAIT_FOR_BUILD, n, model)
+    assert probe < scan
+    assert scan < wait  # waiting for a sort dwarfs one scan
+    assert probe < crack  # cracking must move data
+
+
+def test_cracker_cost_shrinks_with_piece_size():
+    model = CostModel()
+    n = 100_000_000
+    big = estimate_path_cost(AccessPath.CRACKER, n, model, piece_size=n)
+    small = estimate_path_cost(
+        AccessPath.CRACKER, n, model, piece_size=1_000
+    )
+    assert small < big / 1_000
+
+
+def test_explain_text_contains_the_query():
+    query = RangeQuery(ColumnRef("R", "A1"), 5, 10)
+    planned = PlannedQuery(query, AccessPath.SCAN, 0.5, reason="no index")
+    text = planned.explain()
+    assert "SCAN" in text
+    assert "A1" in text
+    assert "no index" in text

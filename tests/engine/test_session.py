@@ -1,0 +1,125 @@
+"""Unit tests for sessions: timing, idle accounting, waiting debt."""
+
+import pytest
+
+from repro.engine.session import Session, make_strategy
+from repro.errors import ConfigError
+from repro.workload.patterns import Exp1Pattern
+
+
+def _session(tiny_db, strategy="scan", **options) -> Session:
+    return tiny_db.session(strategy, **options)
+
+
+def test_select_records_response(tiny_db):
+    session = _session(tiny_db)
+    session.select("R", "A1", 1e6, 2e6)
+    assert session.report.query_count == 1
+    record = session.report.queries[0]
+    assert record.response_s > 0
+    assert record.cumulative_response_s == pytest.approx(
+        record.response_s
+    )
+
+
+def test_cumulative_curve_monotone(tiny_db):
+    session = _session(tiny_db)
+    for i in range(5):
+        session.select("R", "A1", 1e6 * i, 1e6 * (i + 1))
+    curve = session.report.cumulative_curve()
+    assert all(a <= b for a, b in zip(curve, curve[1:]))
+    assert session.report.total_response_s == pytest.approx(curve[-1])
+
+
+def test_idle_without_budget_rejected(tiny_db):
+    session = _session(tiny_db)
+    with pytest.raises(ConfigError):
+        session.idle()
+
+
+def test_idle_seconds_advances_clock_not_responses(tiny_db):
+    session = _session(tiny_db)
+    t0 = tiny_db.clock.now()
+    record = session.idle(seconds=3.0)
+    assert tiny_db.clock.now() == pytest.approx(t0 + 3.0)
+    assert record.nominal_s == 3.0
+    assert record.debt_s == 0.0
+    assert session.report.total_response_s == 0.0
+
+
+def test_blocking_overrun_becomes_query_wait(tiny_db):
+    """Offline builds past the window: the next query pays the wait."""
+    session = _session(
+        tiny_db, "offline", build_policy="always_build"
+    )
+    pattern = Exp1Pattern(query_count=10)
+    session.hint_workload(pattern.statements())
+    sort_s = tiny_db.cost_model.sort_seconds(
+        tiny_db.column("R", "A1").row_count
+    )
+    window = sort_s / 10  # far too small for the sort
+    record = session.idle(seconds=window)
+    assert record.debt_s == pytest.approx(sort_s - window, rel=0.01)
+    session.select("R", "A1", 1e6, 2e6)
+    first = session.report.queries[0]
+    assert first.wait_s == pytest.approx(record.debt_s)
+    assert first.response_s >= first.wait_s
+    # The debt is paid exactly once.
+    session.select("R", "A1", 3e6, 4e6)
+    assert session.report.queries[1].wait_s == 0.0
+
+
+def test_nonblocking_idle_extends_nominal(tiny_db):
+    """Holistic tuning may overshoot the window; no debt accrues."""
+    session = _session(tiny_db, "holistic")
+    record = session.idle(actions=5)
+    assert record.debt_s == 0.0
+    assert record.nominal_s == pytest.approx(record.consumed_s)
+    session.select("R", "A1", 1e6, 2e6)
+    assert session.report.queries[0].wait_s == 0.0
+
+
+def test_unfilled_window_sleeps_remainder(tiny_db):
+    """Scan cannot exploit idle time; the clock still moves."""
+    session = _session(tiny_db, "scan")
+    t0 = tiny_db.clock.now()
+    record = session.idle(seconds=2.0)
+    assert record.actions_done == 0
+    assert tiny_db.clock.now() == pytest.approx(t0 + 2.0)
+
+
+def test_explain_reports_access_path(tiny_db):
+    from repro.engine.plan import AccessPath
+
+    scan_session = _session(tiny_db, "scan")
+    plan = scan_session.explain("R", "A1", 0, 10)
+    assert plan.path is AccessPath.SCAN
+    assert plan.estimated_s > 0
+    assert "SCAN" in plan.explain()
+
+    adaptive_session = _session(tiny_db, "adaptive")
+    plan = adaptive_session.explain("R", "A1", 0, 10)
+    assert plan.path is AccessPath.CRACKER
+
+
+def test_make_strategy_rejects_unknown(tiny_db):
+    with pytest.raises(ConfigError):
+        make_strategy("nonsense", tiny_db)
+
+
+def test_make_strategy_holistic_config_exclusive(tiny_db):
+    from repro.holistic.kernel import HolisticConfig
+
+    with pytest.raises(ConfigError, match="not both"):
+        make_strategy(
+            "holistic",
+            tiny_db,
+            config=HolisticConfig(),
+            policy="ranked",
+        )
+
+
+def test_result_count_recorded(tiny_db):
+    session = _session(tiny_db)
+    result = session.select("R", "A1", 0, 5e7)
+    assert session.report.queries[0].result_count == result.count

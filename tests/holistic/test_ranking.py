@@ -1,0 +1,99 @@
+"""Unit tests for the continuous column ranking."""
+
+import pytest
+
+from repro.cracking.index import CrackerIndex
+from repro.errors import ConfigError
+from repro.holistic.ranking import ColumnRanking
+from repro.simtime.clock import SimClock
+from repro.storage.catalog import ColumnRef
+from repro.storage.loader import generate_uniform_column
+
+
+def _register(ranking, name, rows=10_000, weight=1.0):
+    ref = ColumnRef("R", name)
+    column = generate_uniform_column(name, rows=rows, seed=hash(name) % 100)
+    index = CrackerIndex(column, clock=SimClock())
+    return ref, ranking.register(ref, index, workload_weight=weight)
+
+
+def test_register_is_idempotent():
+    ranking = ColumnRanking(cache_target_elements=100)
+    ref, state = _register(ranking, "A1")
+    again = ranking.register(ref, state.index, workload_weight=5.0)
+    assert again is state
+    assert state.workload_weight == 5.0
+    assert len(ranking) == 1
+
+
+def test_fresh_column_has_positive_score():
+    ranking = ColumnRanking(cache_target_elements=100)
+    _, state = _register(ranking, "A1")
+    assert ranking.score(state) > 0
+    assert not ranking.is_refined(state)
+
+
+def test_hot_column_outranks_cold():
+    ranking = ColumnRanking(cache_target_elements=100)
+    ref_hot, _ = _register(ranking, "A1")
+    ref_cold, _ = _register(ranking, "A2")
+    for _ in range(10):
+        ranking.note_query(ref_hot)
+    assert ranking.best().ref == ref_hot
+
+
+def test_refined_column_scores_zero():
+    ranking = ColumnRanking(cache_target_elements=10_000)
+    _, state = _register(ranking, "A1", rows=100)
+    # 100 rows, target 10k: already refined.
+    assert ranking.is_refined(state)
+    assert ranking.score(state) == 0.0
+    assert ranking.best() is None
+
+
+def test_refinement_decays_score():
+    import numpy as np
+
+    ranking = ColumnRanking(cache_target_elements=10)
+    ref, state = _register(ranking, "A1", rows=10_000)
+    before = ranking.score(state)
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        state.index.random_crack(rng, min_piece_size=1)
+    assert ranking.score(state) < before
+
+
+def test_workload_weight_breaks_ties():
+    ranking = ColumnRanking(cache_target_elements=100)
+    _register(ranking, "A1", weight=1.0)
+    ref_heavy, _ = _register(ranking, "A2", weight=10.0)
+    assert ranking.best().ref == ref_heavy
+
+
+def test_ranked_sorts_descending():
+    ranking = ColumnRanking(cache_target_elements=100)
+    refs = [
+        _register(ranking, f"A{i}", weight=float(i))[0]
+        for i in range(1, 4)
+    ]
+    scores = [score for _, score in ranking.ranked()]
+    assert scores == sorted(scores, reverse=True)
+    assert ranking.ranked()[0][0].ref == refs[-1]
+
+
+def test_refined_count():
+    ranking = ColumnRanking(cache_target_elements=1_000)
+    _register(ranking, "A1", rows=100)  # refined immediately
+    _register(ranking, "A2", rows=100_000)
+    assert ranking.refined_count() == 1
+
+
+def test_invalid_cache_target_rejected():
+    with pytest.raises(ConfigError):
+        ColumnRanking(cache_target_elements=0)
+
+
+def test_note_query_on_unknown_ref_is_noop():
+    ranking = ColumnRanking(cache_target_elements=100)
+    ranking.note_query(ColumnRef("R", "missing"))  # must not raise
+    ranking.note_tuning_action(ColumnRef("R", "missing"))

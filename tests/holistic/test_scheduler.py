@@ -1,0 +1,87 @@
+"""Unit tests for the idle-time scheduler."""
+
+import pytest
+
+from repro.cracking.index import CrackerIndex
+from repro.errors import ConfigError
+from repro.holistic.policies import RoundRobinPolicy
+from repro.holistic.ranking import ColumnRanking
+from repro.holistic.scheduler import IdleScheduler
+from repro.holistic.tuner import AuxiliaryTuner
+from repro.simtime.clock import SimClock
+from repro.storage.catalog import ColumnRef
+from repro.storage.loader import generate_uniform_column
+
+
+def _scheduler(columns=3, rows=5_000, target=10):
+    clock = SimClock()
+    ranking = ColumnRanking(cache_target_elements=target)
+    for i in range(1, columns + 1):
+        name = f"A{i}"
+        column = generate_uniform_column(name, rows=rows, seed=i)
+        index = CrackerIndex(column, clock=clock)
+        ranking.register(ColumnRef("R", name), index)
+    tuner = AuxiliaryTuner(seed=42, min_piece_size=target)
+    return IdleScheduler(clock, ranking, RoundRobinPolicy(), tuner), clock
+
+
+def test_run_actions_spreads_round_robin():
+    scheduler, _ = _scheduler(columns=3)
+    report = scheduler.run_actions(9)
+    assert report.actions_attempted == 9
+    assert set(report.per_column.values()) == {3}
+    assert report.stop_reason == "action budget exhausted"
+
+
+def test_run_actions_zero_is_noop():
+    scheduler, clock = _scheduler()
+    t0 = clock.now()
+    report = scheduler.run_actions(0)
+    assert report.actions_attempted == 0
+    assert clock.now() == t0
+
+
+def test_run_actions_negative_rejected():
+    scheduler, _ = _scheduler()
+    with pytest.raises(ConfigError):
+        scheduler.run_actions(-1)
+
+
+def test_run_budget_consumes_time():
+    scheduler, clock = _scheduler(rows=50_000)
+    budget = 0.01
+    report = scheduler.run_budget(budget)
+    assert report.consumed_s >= budget or (
+        report.stop_reason == "all candidates refined"
+    )
+    assert clock.now() == pytest.approx(report.consumed_s)
+
+
+def test_run_budget_negative_rejected():
+    scheduler, _ = _scheduler()
+    with pytest.raises(ConfigError):
+        scheduler.run_budget(-0.1)
+
+
+def test_stops_when_everything_refined():
+    # Tiny columns with a huge target: refined from the start.
+    scheduler, _ = _scheduler(rows=5, target=1_000)
+    report = scheduler.run_actions(100)
+    assert report.actions_attempted == 0
+    assert report.stop_reason == "all candidates refined"
+
+
+def test_lifetime_accumulates():
+    scheduler, _ = _scheduler()
+    scheduler.run_actions(4)
+    scheduler.run_actions(5)
+    assert scheduler.lifetime.actions_attempted == 9
+
+
+def test_refinement_progresses_piece_counts():
+    scheduler, _ = _scheduler(columns=2)
+    states = scheduler.ranking.states()
+    before = [s.index.piece_count for s in states]
+    scheduler.run_actions(20)
+    after = [s.index.piece_count for s in states]
+    assert all(b > a for a, b in zip(before, after))

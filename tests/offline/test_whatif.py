@@ -1,0 +1,71 @@
+"""Unit tests for what-if analysis."""
+
+import pytest
+
+from repro.offline.whatif import (
+    Configuration,
+    WhatIfOptimizer,
+    WorkloadStatement,
+)
+from repro.storage.catalog import ColumnRef
+
+
+@pytest.fixture
+def optimizer(tiny_db) -> WhatIfOptimizer:
+    # The projected model: 10k local rows priced as the paper's 10^8.
+    return WhatIfOptimizer(tiny_db.catalog, tiny_db.cost_model)
+
+
+def _statement(column: str, weight: float = 1.0) -> WorkloadStatement:
+    return WorkloadStatement(
+        ColumnRef("R", column), 1_000, 2_000, weight=weight
+    )
+
+
+def test_statement_cost_depends_on_configuration(optimizer, a1):
+    stmt = _statement("A1")
+    scan_cost = optimizer.statement_cost(stmt, Configuration())
+    indexed_cost = optimizer.statement_cost(
+        stmt, Configuration(indexes={a1})
+    )
+    assert indexed_cost < scan_cost / 100
+
+
+def test_workload_cost_weights_statements(optimizer):
+    light = [_statement("A1", weight=1.0)]
+    heavy = [_statement("A1", weight=10.0)]
+    config = Configuration()
+    assert optimizer.workload_cost(
+        heavy, config
+    ) == pytest.approx(10 * optimizer.workload_cost(light, config))
+
+
+def test_index_benefit_positive_for_hot_column(optimizer, a1):
+    workload = [_statement("A1", weight=100.0)]
+    benefit = optimizer.index_benefit(workload, Configuration(), a1)
+    assert benefit > 0
+
+
+def test_index_benefit_zero_for_unqueried_column(optimizer):
+    workload = [_statement("A1", weight=100.0)]
+    other = ColumnRef("R", "A2")
+    benefit = optimizer.index_benefit(workload, Configuration(), other)
+    assert benefit == pytest.approx(0.0)
+
+
+def test_optimizer_counts_calls(optimizer, a1):
+    before = optimizer.calls
+    optimizer.workload_cost([_statement("A1")], Configuration())
+    assert optimizer.calls == before + 1
+
+
+def test_configuration_with_index_is_persistent(a1):
+    base = Configuration()
+    extended = base.with_index(a1)
+    assert not base.covers(a1)
+    assert extended.covers(a1)
+
+
+def test_build_cost_scales_with_rows(optimizer, a1):
+    cost = optimizer.build_cost(a1)
+    assert cost > 0

@@ -1,0 +1,91 @@
+"""Unit tests for the workload monitor."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.online.monitor import WorkloadMonitor
+from repro.storage.catalog import ColumnRef
+
+
+@pytest.fixture
+def monitor(tiny_db) -> WorkloadMonitor:
+    return WorkloadMonitor(tiny_db.catalog, histogram_bins=10)
+
+
+def test_record_counts_queries(monitor, a1):
+    monitor.record(a1, 100, 200, 0.1)
+    monitor.record(a1, 300, 400, 0.2)
+    assert monitor.query_count(a1) == 2
+    assert monitor.total_queries == 2
+
+
+def test_unknown_column_has_zero_activity(monitor):
+    assert monitor.query_count(ColumnRef("R", "A2")) == 0
+    assert monitor.frequency(ColumnRef("R", "A2"), now=1.0) == 0.0
+
+
+def test_observed_columns_sorted_by_popularity(monitor):
+    a1, a2 = ColumnRef("R", "A1"), ColumnRef("R", "A2")
+    monitor.record(a2, 0, 1, 0.1)
+    for i in range(3):
+        monitor.record(a1, 0, 1, 0.2 + i)
+    assert monitor.observed_columns() == [a1, a2]
+
+
+def test_relative_weight(monitor):
+    a1, a2 = ColumnRef("R", "A1"), ColumnRef("R", "A2")
+    for _ in range(3):
+        monitor.record(a1, 0, 1, 0.1)
+    monitor.record(a2, 0, 1, 0.1)
+    assert monitor.relative_weight(a1) == pytest.approx(0.75)
+    assert monitor.relative_weight(a2) == pytest.approx(0.25)
+
+
+def test_frequency_uses_recent_window(monitor, a1):
+    for i in range(10):
+        monitor.record(a1, 0, 1, float(i))
+    # 10 queries across 9 seconds, measured at t=9.
+    assert monitor.frequency(a1, now=9.0) == pytest.approx(10 / 9)
+
+
+def test_coverage_accumulates_ranges(monitor, a1):
+    monitor.record(a1, 100, 200, 0.1)
+    monitor.record(a1, 150, 300, 0.2)
+    assert monitor.coverage(a1).covers(120, 280)
+    assert not monitor.coverage(a1).covers(0, 50)
+
+
+def test_hot_ranges_from_histogram(monitor, a1, tiny_db):
+    stats = tiny_db.column("R", "A1").stats
+    width = stats.value_span / 10
+    hot_low = stats.min_value + 2 * width
+    for _ in range(5):
+        monitor.record(a1, hot_low, hot_low + width / 2, 0.1)
+    monitor.record(a1, stats.min_value, stats.min_value + 1, 0.2)
+    hot = monitor.hot_ranges(a1, min_queries=5)
+    assert len(hot) == 1
+    low, high, count = hot[0]
+    assert count >= 5
+    assert low <= hot_low < high
+
+
+def test_is_column_hot_threshold(monitor, a1):
+    for _ in range(4):
+        monitor.record(a1, 0, 1, 0.1)
+    assert monitor.is_column_hot(a1, 4)
+    assert not monitor.is_column_hot(a1, 5)
+
+
+def test_epoch_counts_filters_by_time(monitor, a1):
+    monitor.record(a1, 0, 1, 1.0)
+    monitor.record(a1, 0, 1, 2.0)
+    monitor.record(a1, 0, 1, 3.0)
+    counts = monitor.epoch_counts(since=1.5)
+    assert counts[a1] == 2
+
+
+def test_invalid_configuration_rejected(tiny_db):
+    with pytest.raises(ConfigError):
+        WorkloadMonitor(tiny_db.catalog, histogram_bins=0)
+    with pytest.raises(ConfigError):
+        WorkloadMonitor(tiny_db.catalog, recent_window=0)

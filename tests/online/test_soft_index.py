@@ -1,0 +1,65 @@
+"""Unit tests for soft (scan-shared) index construction."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.online.soft_index import SoftIndexManager
+from repro.simtime.charge import CostCharge
+
+
+@pytest.fixture
+def manager(tiny_db) -> SoftIndexManager:
+    return SoftIndexManager(tiny_db.catalog, tiny_db.clock)
+
+
+def test_non_candidate_scans_are_ignored(manager, a1):
+    assert manager.note_scan(a1) is None
+    assert manager.index_for(a1) is None
+
+
+def test_candidate_promotes_after_threshold(manager, a1):
+    manager.nominate(a1)
+    index = manager.note_scan(a1)
+    assert index is not None
+    assert index.is_built
+    assert manager.index_for(a1) is index
+    assert manager.scan_passes_saved == 1
+    assert manager.promoted_refs() == [a1]
+
+
+def test_multi_scan_threshold(tiny_db, a1):
+    manager = SoftIndexManager(
+        tiny_db.catalog, tiny_db.clock, scans_to_promote=3
+    )
+    manager.nominate(a1)
+    assert manager.note_scan(a1) is None
+    assert manager.note_scan(a1) is None
+    assert manager.note_scan(a1) is not None
+
+
+def test_promotion_charges_sort_only(tiny_db, a1):
+    manager = SoftIndexManager(tiny_db.catalog, tiny_db.clock)
+    manager.nominate(a1)
+    scanned_before = tiny_db.clock.total_charge.elements_scanned
+    manager.note_scan(a1)
+    charge: CostCharge = tiny_db.clock.total_charge
+    # The build sorted the column but did not re-scan it.
+    assert charge.elements_sorted == tiny_db.column("R", "A1").row_count
+    assert charge.elements_scanned == scanned_before
+
+
+def test_promotion_happens_once(manager, a1):
+    manager.nominate(a1)
+    manager.note_scan(a1)
+    assert manager.note_scan(a1) is None  # already promoted
+
+
+def test_nominate_is_idempotent(manager, a1):
+    first = manager.nominate(a1)
+    second = manager.nominate(a1)
+    assert first is second
+
+
+def test_invalid_threshold_rejected(tiny_db):
+    with pytest.raises(ConfigError):
+        SoftIndexManager(tiny_db.catalog, tiny_db.clock, scans_to_promote=0)

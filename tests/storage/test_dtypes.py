@@ -1,0 +1,69 @@
+"""Unit tests for the column type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.dtypes import (
+    FLOAT64,
+    INT32,
+    INT64,
+    coerce_array,
+    type_by_name,
+    type_for_array,
+)
+
+
+def test_type_by_name_resolves_all_supported():
+    assert type_by_name("int32") is INT32
+    assert type_by_name("int64") is INT64
+    assert type_by_name("float64") is FLOAT64
+
+
+def test_type_by_name_rejects_unknown():
+    with pytest.raises(SchemaError, match="unsupported column type"):
+        type_by_name("varchar")
+
+
+def test_type_for_array_infers_from_dtype():
+    assert type_for_array(np.array([1, 2], dtype=np.int64)) is INT64
+    assert type_for_array(np.array([1.5])) is FLOAT64
+
+
+def test_type_for_array_rejects_unsupported_dtype():
+    with pytest.raises(SchemaError):
+        type_for_array(np.array(["a", "b"]))
+
+
+def test_coerce_accepts_matching_dtype():
+    data = np.array([3, 1, 2], dtype=np.int64)
+    out = coerce_array(data, INT64)
+    assert out.dtype == np.int64
+    assert np.array_equal(out, data)
+
+
+def test_coerce_int_from_whole_floats():
+    out = coerce_array(np.array([1.0, 2.0]), INT64)
+    assert out.dtype == np.int64
+    assert np.array_equal(out, [1, 2])
+
+
+def test_coerce_rejects_fractional_floats_into_int():
+    with pytest.raises(SchemaError, match="fractional"):
+        coerce_array(np.array([1.5, 2.0]), INT64)
+
+
+def test_coerce_rejects_multidimensional():
+    with pytest.raises(SchemaError, match="1-D"):
+        coerce_array(np.zeros((2, 2)), INT64)
+
+
+def test_coerce_int32_roundtrip():
+    out = coerce_array(np.array([1, 2, 3], dtype=np.int64), INT32)
+    assert out.dtype == np.int32
+
+
+def test_element_bytes_match_dtype():
+    assert INT32.element_bytes == 4
+    assert INT64.element_bytes == 8
+    assert FLOAT64.element_bytes == 8

@@ -1,0 +1,93 @@
+"""Unit tests for tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DuplicateObjectError,
+    SchemaError,
+    UnknownColumnError,
+)
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+def _column(name: str, values: list[int]) -> Column:
+    return Column(name, np.array(values, dtype=np.int64))
+
+
+def test_add_and_fetch_columns():
+    table = Table("R")
+    table.add_column(_column("A1", [1, 2, 3]))
+    table.add_column(_column("A2", [4, 5, 6]))
+    assert table.column_names == ["A1", "A2"]
+    assert table.column("A2").values[0] == 4
+    assert table.row_count == 3
+    assert table.column_count == 2
+
+
+def test_duplicate_column_rejected():
+    table = Table("R")
+    table.add_column(_column("A1", [1]))
+    with pytest.raises(DuplicateObjectError):
+        table.add_column(_column("A1", [2]))
+
+
+def test_row_count_mismatch_rejected():
+    table = Table("R")
+    table.add_column(_column("A1", [1, 2]))
+    with pytest.raises(SchemaError, match="rows"):
+        table.add_column(_column("A2", [1, 2, 3]))
+
+
+def test_unknown_column_lookup():
+    table = Table("R")
+    with pytest.raises(UnknownColumnError):
+        table.column("missing")
+    with pytest.raises(UnknownColumnError):
+        table.updates_for("missing")
+
+
+def test_iteration_yields_columns():
+    table = Table("R")
+    table.add_column(_column("A1", [1]))
+    table.add_column(_column("A2", [2]))
+    assert [c.name for c in table] == ["A1", "A2"]
+
+
+def test_insert_rows_stages_per_column_deltas():
+    table = Table("R")
+    table.add_column(_column("A1", [1, 2]))
+    table.add_column(_column("A2", [3, 4]))
+    staged = table.insert_rows({"A1": [10], "A2": [20]})
+    assert staged == 1
+    assert table.updates_for("A1").pending_insert_count == 1
+    assert table.updates_for("A2").pending_insert_count == 1
+
+
+def test_insert_rows_requires_all_columns():
+    table = Table("R")
+    table.add_column(_column("A1", [1]))
+    table.add_column(_column("A2", [2]))
+    with pytest.raises(SchemaError, match="missing columns"):
+        table.insert_rows({"A1": [10]})
+
+
+def test_insert_rows_rejects_ragged_input():
+    table = Table("R")
+    table.add_column(_column("A1", [1]))
+    table.add_column(_column("A2", [2]))
+    with pytest.raises(SchemaError, match="ragged"):
+        table.insert_rows({"A1": [10], "A2": [20, 30]})
+
+
+def test_empty_table_name_rejected():
+    with pytest.raises(SchemaError):
+        Table("")
+
+
+def test_nbytes_sums_columns():
+    table = Table("R")
+    table.add_column(_column("A1", [1, 2]))
+    table.add_column(_column("A2", [3, 4]))
+    assert table.nbytes == 32

@@ -1,0 +1,76 @@
+"""Unit tests for pending-update delta stores."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.dtypes import INT64
+from repro.storage.updates import PendingUpdates
+
+
+@pytest.fixture
+def pending() -> PendingUpdates:
+    return PendingUpdates(INT64)
+
+
+def test_fresh_delta_is_empty(pending):
+    assert not pending.has_pending()
+    assert pending.pending_insert_count == 0
+    assert pending.pending_delete_count == 0
+
+
+def test_stage_inserts_keeps_values_sorted(pending):
+    pending.stage_inserts([5, 1, 9])
+    pending.stage_inserts([3])
+    assert pending.pending_insert_count == 4
+    assert pending.inserts_in_range(0, 100).tolist() == [1, 3, 5, 9]
+
+
+def test_inserts_in_range_is_half_open(pending):
+    pending.stage_inserts([1, 5, 9])
+    assert pending.inserts_in_range(1, 9).tolist() == [1, 5]
+    assert pending.inserts_in_range(2, 5).tolist() == []
+
+
+def test_take_inserts_consumes_only_range(pending):
+    pending.stage_inserts([1, 5, 9])
+    taken = pending.take_inserts_in_range(4, 10)
+    assert taken.tolist() == [5, 9]
+    assert pending.inserts_in_range(0, 100).tolist() == [1]
+
+
+def test_stage_deletes_requires_aligned_arrays(pending):
+    with pytest.raises(SchemaError, match="align"):
+        pending.stage_deletes([1, 2], [10])
+
+
+def test_deletes_in_range(pending):
+    pending.stage_deletes([0, 1, 2], [10, 20, 30])
+    assert pending.deletes_in_range(15, 35).tolist() == [20, 30]
+
+
+def test_take_deletes_consumes_range(pending):
+    pending.stage_deletes([0, 1, 2], [10, 20, 30])
+    taken = pending.take_deletes_in_range(5, 25)
+    assert taken.tolist() == [10, 20]
+    assert pending.deletes_in_range(0, 100).tolist() == [30]
+    assert pending.pending_delete_count == 1
+
+
+def test_clear_resets_everything(pending):
+    pending.stage_inserts([1])
+    pending.stage_deletes([0], [5])
+    pending.clear()
+    assert not pending.has_pending()
+
+
+def test_duplicate_values_kept_as_multiset(pending):
+    pending.stage_inserts([7, 7, 7])
+    assert pending.inserts_in_range(7, 8).tolist() == [7, 7, 7]
+    taken = pending.take_inserts_in_range(7, 8)
+    assert len(taken) == 3
+
+
+def test_insert_dtype_coercion(pending):
+    pending.stage_inserts(np.array([1.0, 2.0]))
+    assert pending.inserts_in_range(0, 10).dtype == np.int64

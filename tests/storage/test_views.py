@@ -1,0 +1,76 @@
+"""Unit tests for selection views."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.storage.views import (
+    MaterializedResult,
+    PositionsView,
+    RangeView,
+    concat_results,
+)
+
+
+@pytest.fixture
+def array() -> np.ndarray:
+    return np.array([10, 20, 30, 40, 50], dtype=np.int64)
+
+
+def test_range_view_slices_lazily(array):
+    view = RangeView(array, 1, 4)
+    assert view.count == 3
+    assert view.values().tolist() == [20, 30, 40]
+    assert view.positions() is None
+
+
+def test_range_view_with_rowids(array):
+    rowids = np.array([4, 3, 2, 1, 0], dtype=np.int64)
+    view = RangeView(array, 1, 3, rowids)
+    assert view.positions().tolist() == [3, 2]
+
+
+def test_range_view_rejects_bad_bounds(array):
+    with pytest.raises(QueryError):
+        RangeView(array, -1, 3)
+    with pytest.raises(QueryError):
+        RangeView(array, 3, 2)
+    with pytest.raises(QueryError):
+        RangeView(array, 0, 6)
+
+
+def test_empty_range_view(array):
+    view = RangeView(array, 2, 2)
+    assert view.count == 0
+    assert view.values().tolist() == []
+
+
+def test_positions_view(array):
+    view = PositionsView(array, np.array([0, 2, 4]))
+    assert view.count == 3
+    assert view.values().tolist() == [10, 30, 50]
+    assert view.positions().tolist() == [0, 2, 4]
+
+
+def test_materialized_result():
+    result = MaterializedResult(np.array([1, 2], dtype=np.int64))
+    assert result.count == 2
+    assert result.positions() is None
+
+
+def test_concat_results_merges_values(array):
+    a = RangeView(array, 0, 2)
+    b = PositionsView(array, np.array([4]))
+    merged = concat_results(a, b)
+    assert merged.count == 3
+    assert merged.values().tolist() == [10, 20, 50]
+    # RangeView without rowids has no positions -> merged has none.
+    assert merged.positions() is None
+
+
+def test_concat_results_keeps_positions_when_both_have_them(array):
+    rowids = np.arange(5, dtype=np.int64)
+    a = RangeView(array, 0, 2, rowids)
+    b = PositionsView(array, np.array([4]))
+    merged = concat_results(a, b)
+    assert merged.positions().tolist() == [0, 1, 4]

@@ -1,0 +1,78 @@
+"""API surface tests: every declared export exists and imports.
+
+A downstream user adopts the library through its ``__init__``
+re-exports; these tests keep the public surface honest.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.simtime",
+    "repro.storage",
+    "repro.cracking",
+    "repro.offline",
+    "repro.online",
+    "repro.engine",
+    "repro.holistic",
+    "repro.workload",
+    "repro.bench",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{name} declares no __all__"
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_convenience_path():
+    """The README quickstart snippet's imports all work."""
+    from repro import (  # noqa: F401
+        Database,
+        HolisticConfig,
+        RangeQuery,
+        SimClock,
+        WallClock,
+        build_paper_table,
+        scale_by_name,
+    )
+
+
+def test_errors_all_derive_from_repro_error():
+    import inspect
+
+    from repro import errors
+
+    for _name, obj in inspect.getmembers(errors, inspect.isclass):
+        if obj.__module__ != "repro.errors":
+            continue
+        assert issubclass(obj, errors.ReproError) or obj in (
+            errors.ReproError,
+        )
+
+
+def test_strategy_names_are_stable():
+    from repro.engine.session import _STRATEGIES
+
+    assert set(_STRATEGIES) == {"scan", "adaptive", "offline", "online"}

@@ -1,0 +1,115 @@
+"""Edge-path tests: float columns, error propagation, empty data.
+
+These exercise paths the paper's experiments never touch but a
+downstream user will: non-integer columns, missing objects reached
+through the session API, and degenerate (empty) tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cracking.index import CrackerIndex
+from repro.errors import UnknownColumnError, UnknownTableError
+from repro.simtime.clock import SimClock
+from repro.storage.column import Column
+from repro.storage.database import Database
+from repro.storage.dtypes import FLOAT64
+from repro.storage.table import Table
+
+
+def _float_column(n: int = 5_000, seed: int = 9) -> Column:
+    values = np.random.default_rng(seed).uniform(0.0, 1.0, n)
+    return Column("F", values, FLOAT64)
+
+
+def test_cracking_float_column_is_correct():
+    column = _float_column()
+    index = CrackerIndex(column, clock=SimClock())
+    for low, high in [(0.1, 0.3), (0.25, 0.9), (0.0, 1.0)]:
+        view = index.select_range(low, high)
+        base = column.values
+        expected = int(np.count_nonzero((base >= low) & (base < high)))
+        assert view.count == expected
+    index.check_invariants()
+
+
+def test_random_cracks_on_float_column():
+    column = _float_column()
+    index = CrackerIndex(column, clock=SimClock())
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        index.random_crack(rng, min_piece_size=1)
+    index.check_invariants()
+    assert index.piece_count > 10
+
+
+def test_full_index_on_float_column():
+    from repro.offline.fullindex import FullIndex
+
+    column = _float_column()
+    index = FullIndex(column, SimClock())
+    index.build()
+    view = index.select_range(0.4, 0.6)
+    base = column.values
+    expected = int(np.count_nonzero((base >= 0.4) & (base < 0.6)))
+    assert view.count == expected
+
+
+def test_session_surfaces_unknown_table():
+    db = Database()
+    session = db.session("scan")
+    with pytest.raises(UnknownTableError):
+        session.select("missing", "A1", 0, 1)
+
+
+def test_session_surfaces_unknown_column():
+    db = Database()
+    table = db.create_table("T")
+    table.add_column(Column("A", np.array([1], dtype=np.int64)))
+    session = db.session("adaptive")
+    with pytest.raises(UnknownColumnError):
+        session.select("T", "missing", 0, 1)
+
+
+def test_holistic_on_empty_table_is_harmless():
+    db = Database()
+    table = db.create_table("T")
+    table.add_column(Column("A", np.array([], dtype=np.int64)))
+    session = db.session("holistic")
+    record = session.idle(actions=10)
+    assert record.actions_done == 0
+    result = session.select("T", "A", 0, 100)
+    assert result.count == 0
+
+
+def test_scan_on_empty_table():
+    db = Database()
+    table = db.create_table("T")
+    table.add_column(Column("A", np.array([], dtype=np.int64)))
+    session = db.session("scan")
+    assert session.select("T", "A", 0, 100).count == 0
+
+
+def test_single_value_column_cracks_cleanly():
+    column = Column("A", np.full(100, 7, dtype=np.int64))
+    index = CrackerIndex(column, clock=SimClock())
+    assert index.select_range(7, 8).count == 100
+    assert index.select_range(0, 7).count == 0
+    # Random cracks degenerate (zero value span) but never corrupt.
+    assert index.random_crack(np.random.default_rng(0)) is None
+    index.check_invariants()
+
+
+def test_mixed_strategies_share_one_database():
+    """Two sessions with different strategies can coexist on one DB."""
+    from repro.storage.loader import build_paper_table
+
+    db = Database()
+    db.add_table(build_paper_table(rows=2_000, columns=1, seed=1))
+    scan = db.session("scan")
+    adaptive = db.session("adaptive")
+    a = scan.select("R", "A1", 1e6, 5e7)
+    b = adaptive.select("R", "A1", 1e6, 5e7)
+    assert a.count == b.count
+    # The adaptive session's cracking never mutates the base column.
+    assert db.column("R", "A1").values.flags.writeable is False

@@ -1,0 +1,106 @@
+"""Unit tests for interval sets."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.util.intervals import IntervalSet
+
+
+def test_empty_set():
+    iset = IntervalSet()
+    assert len(iset) == 0
+    assert iset.total_span() == 0
+    assert not iset.covers(0, 1)
+    assert iset.covers(5, 5)  # empty query is trivially covered
+    assert not iset.contains_point(0)
+
+
+def test_add_and_covers():
+    iset = IntervalSet()
+    iset.add(10, 20)
+    assert iset.covers(10, 20)
+    assert iset.covers(12, 18)
+    assert not iset.covers(5, 15)
+    assert not iset.covers(15, 25)
+
+
+def test_half_open_semantics():
+    iset = IntervalSet()
+    iset.add(10, 20)
+    assert iset.contains_point(10)
+    assert iset.contains_point(19.999)
+    assert not iset.contains_point(20)
+
+
+def test_adjacent_intervals_coalesce():
+    iset = IntervalSet()
+    iset.add(10, 20)
+    iset.add(20, 30)
+    assert len(iset) == 1
+    assert iset.covers(10, 30)
+
+
+def test_overlapping_intervals_coalesce():
+    iset = IntervalSet()
+    iset.add(10, 20)
+    iset.add(15, 25)
+    iset.add(5, 12)
+    assert iset.intervals() == [(5, 25)]
+
+
+def test_disjoint_intervals_stay_separate():
+    iset = IntervalSet()
+    iset.add(10, 20)
+    iset.add(30, 40)
+    assert len(iset) == 2
+    assert not iset.covers(15, 35)
+
+
+def test_bridge_interval_merges_neighbours():
+    iset = IntervalSet()
+    iset.add(10, 20)
+    iset.add(30, 40)
+    iset.add(18, 32)
+    assert iset.intervals() == [(10, 40)]
+
+
+def test_empty_interval_ignored():
+    iset = IntervalSet()
+    iset.add(10, 10)
+    assert len(iset) == 0
+
+
+def test_inverted_interval_rejected():
+    iset = IntervalSet()
+    with pytest.raises(QueryError):
+        iset.add(10, 5)
+    with pytest.raises(QueryError):
+        iset.covers(10, 5)
+    with pytest.raises(QueryError):
+        iset.uncovered_parts(10, 5)
+
+
+def test_uncovered_parts_full_gap():
+    iset = IntervalSet()
+    assert iset.uncovered_parts(0, 10) == [(0, 10)]
+
+
+def test_uncovered_parts_with_holes():
+    iset = IntervalSet()
+    iset.add(10, 20)
+    iset.add(30, 40)
+    gaps = iset.uncovered_parts(5, 45)
+    assert gaps == [(5, 10), (20, 30), (40, 45)]
+
+
+def test_uncovered_parts_fully_covered():
+    iset = IntervalSet()
+    iset.add(0, 100)
+    assert iset.uncovered_parts(10, 90) == []
+
+
+def test_total_span_sums_widths():
+    iset = IntervalSet()
+    iset.add(0, 10)
+    iset.add(20, 25)
+    assert iset.total_span() == 15

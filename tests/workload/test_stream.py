@@ -1,0 +1,88 @@
+"""Unit tests for workload streams."""
+
+import pytest
+
+from repro.engine.query import RangeQuery
+from repro.errors import WorkloadError
+from repro.storage.catalog import ColumnRef
+from repro.workload.stream import (
+    IdleEvent,
+    QueryEvent,
+    interleave_idle,
+    run_stream,
+)
+
+
+def _queries(n: int) -> list[RangeQuery]:
+    return [
+        RangeQuery(ColumnRef("R", "A1"), i * 1e5, (i + 1) * 1e5)
+        for i in range(n)
+    ]
+
+
+def test_idle_event_validation():
+    with pytest.raises(WorkloadError):
+        IdleEvent()
+    with pytest.raises(WorkloadError):
+        IdleEvent(seconds=-1)
+    with pytest.raises(WorkloadError):
+        IdleEvent(actions=-1)
+    assert IdleEvent(seconds=0.5).seconds == 0.5
+    assert IdleEvent(actions=3).actions == 3
+
+
+def test_interleave_idle_schedule():
+    events = list(
+        interleave_idle(_queries(5), idle_every=2, idle=IdleEvent(actions=1))
+    )
+    kinds = [
+        "idle" if isinstance(e, IdleEvent) else "query" for e in events
+    ]
+    assert kinds == [
+        "idle",
+        "query",
+        "query",
+        "idle",
+        "query",
+        "query",
+        "idle",
+        "query",
+    ]
+
+
+def test_interleave_idle_without_leading_window():
+    events = list(
+        interleave_idle(
+            _queries(2),
+            idle_every=1,
+            idle=IdleEvent(actions=1),
+            idle_first=False,
+        )
+    )
+    assert isinstance(events[0], QueryEvent)
+
+
+def test_interleave_idle_validation():
+    with pytest.raises(WorkloadError):
+        list(
+            interleave_idle(
+                _queries(1), idle_every=0, idle=IdleEvent(actions=1)
+            )
+        )
+
+
+def test_run_stream_executes_everything(tiny_db):
+    session = tiny_db.session("holistic")
+    events = list(
+        interleave_idle(_queries(4), idle_every=2, idle=IdleEvent(actions=2))
+    )
+    report = run_stream(session, events)
+    assert report.query_count == 4
+    assert len(report.idles) == 3
+    assert report is session.report
+
+
+def test_run_stream_rejects_unknown_events(tiny_db):
+    session = tiny_db.session("scan")
+    with pytest.raises(WorkloadError, match="unknown workload event"):
+        run_stream(session, ["not-an-event"])
