@@ -23,6 +23,13 @@ from repro.bench.exp1 import (
     table2_text,
 )
 from repro.bench.exp2 import Exp2Result, figure4_text, run_exp2
+from repro.bench.exp_parallel import (
+    DEFAULT_WORKER_COUNTS,
+    ParallelRun,
+    ParallelSweepResult,
+    expp_text,
+    run_parallel_sweep,
+)
 from repro.bench.features import (
     PAPER_TABLE1,
     collect_features,
@@ -32,23 +39,28 @@ from repro.bench.timeline import figure1_text
 
 __all__ = [
     "AblationRow",
+    "DEFAULT_WORKER_COUNTS",
     "EXP1_STRATEGIES",
     "Exp1Result",
     "Exp2Result",
     "PAPER_TABLE1",
     "PAPER_X_VALUES",
+    "ParallelRun",
+    "ParallelSweepResult",
     "StrategyRun",
     "ablation_cache_target",
     "ablation_policies",
     "ablation_stochastic",
     "ablation_text",
     "collect_features",
+    "expp_text",
     "figure1_text",
     "figure2_text",
     "figure3_text",
     "figure4_text",
     "run_exp1",
     "run_exp2",
+    "run_parallel_sweep",
     "table1_text",
     "table2_rows",
     "table2_text",

@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench exp1 --scale small --x 10 100 1000
     python -m repro.bench table2
     python -m repro.bench exp2
+    python -m repro.bench parallel
     python -m repro.bench table1
     python -m repro.bench figure1
     python -m repro.bench figure2
@@ -33,6 +34,11 @@ from repro.bench.ablations import (
 from repro.bench.cracking_demo import figure2_text
 from repro.bench.exp1 import PAPER_X_VALUES, figure3_text, run_exp1, table2_text
 from repro.bench.exp2 import figure4_text, run_exp2
+from repro.bench.exp_parallel import (
+    DEFAULT_WORKER_COUNTS,
+    expp_text,
+    run_parallel_sweep,
+)
 from repro.bench.features import table1_text
 from repro.bench.timeline import figure1_text
 
@@ -51,6 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "exp1",
             "table2",
             "exp2",
+            "parallel",
             "table1",
             "figure1",
             "figure2",
@@ -77,6 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=42, help="experiment seed"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="worker counts for the parallel sweep (default: 0 1 2 4)",
     )
     parser.add_argument(
         "--csv-dir",
@@ -115,6 +129,19 @@ def main(argv: list[str] | None = None) -> int:
 
             path = export_exp2_csv(exp2_result, args.csv_dir)
             outputs.append(f"wrote {path}")
+    if want("parallel"):
+        counts = (
+            tuple(args.workers)
+            if args.workers is not None
+            else DEFAULT_WORKER_COUNTS
+        )
+        outputs.append(
+            expp_text(
+                run_parallel_sweep(
+                    scale, worker_counts=counts, seed=args.seed
+                )
+            )
+        )
     if want("table1"):
         outputs.append(table1_text())
     if want("figure1"):

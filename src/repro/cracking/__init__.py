@@ -10,7 +10,10 @@ from repro.cracking.concurrency import (
     ClientQuery,
     ConcurrentCrackScheduler,
     LatchMode,
+    LatchedCrackerAccess,
     PieceLatchManager,
+    PieceLatchTable,
+    ReadWriteLatch,
     ScheduleReport,
 )
 from repro.cracking.engine import (
@@ -40,10 +43,13 @@ __all__ = [
     "CrackerIndex",
     "HybridCrackSortIndex",
     "LatchMode",
+    "LatchedCrackerAccess",
     "MaintainedCrackerIndex",
     "Piece",
     "PieceLatchManager",
+    "PieceLatchTable",
     "PieceMap",
+    "ReadWriteLatch",
     "ScheduleReport",
     "SidewaysCrackerIndex",
     "StochasticCrackerIndex",

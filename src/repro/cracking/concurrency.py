@@ -12,19 +12,42 @@ in a deterministic, cooperatively-scheduled simulator:
   clients round-by-round; a client whose latch request conflicts with
   one granted earlier in the same round is deferred to the next round.
 
-There are no OS threads -- Python would serialize them anyway -- but
-the latch protocol, conflict detection and fairness behaviour are
-exercised for real and are unit-testable.
+The cooperative scheduler has no OS threads -- but the parallel tuning
+workers of :mod:`repro.holistic.workers` are real threads, and they use
+the *blocking* half of this module:
+
+* :class:`ReadWriteLatch` -- a condition-variable read/write latch that
+  reports whether an acquisition had to wait (a *contention stall*);
+* :class:`PieceLatchTable` -- blocking read/write latches keyed by a
+  position bucket (``piece_start // granularity``), plus a table-level
+  latch so whole-index actions (piece scans, sorts) can exclude
+  piece-level traffic;
+* :class:`LatchedCrackerAccess` -- a facade over one
+  :class:`CrackerIndex` that latches the pieces an operation will
+  restructure before running it, revalidating after acquisition
+  (cracks move piece boundaries, so a latch taken on a stale key is
+  released and re-acquired on the fresh one).
+
+Under CPython's GIL the latches cannot buy real parallel speedup --
+memory safety comes from the index's monitor lock -- but they exercise
+the published protocol for real: conflicting piece accesses wait,
+non-conflicting ones do not, and every wait is counted as a stall on
+the crack tape.  The virtual clock's parallel lanes translate the
+latch-level concurrency into the paper's multi-core time accounting.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Iterator
 
 from repro.cracking.index import CrackerIndex
-from repro.errors import ConcurrencyError
-from repro.storage.views import SelectionResult
+from repro.cracking.piece import CrackOrigin
+from repro.errors import ConcurrencyError, ConfigError
+from repro.storage.views import RangeView, SelectionResult
 
 
 class LatchMode(Enum):
@@ -188,3 +211,239 @@ class ConcurrentCrackScheduler:
                 + query.rounds_waited
             )
         return report
+
+
+# -- blocking latches for real worker threads ---------------------------
+
+
+class ReadWriteLatch:
+    """A blocking read/write latch that reports contention.
+
+    Many readers or one writer; acquisitions return ``True`` when they
+    had to wait for another holder (a contention stall), which the
+    callers feed into the crack tape's stall accounting.  Writers are
+    not prioritised -- at tuning-action granularity starvation is not a
+    practical concern, and the simpler protocol is easier to reason
+    about.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    def acquire_read(self) -> bool:
+        with self._cond:
+            stalled = self._writer
+            while self._writer:
+                self._cond.wait()
+            self._readers += 1
+            return stalled
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> bool:
+        with self._cond:
+            stalled = self._writer or self._readers > 0
+            while self._writer or self._readers > 0:
+                self._cond.wait()
+            self._writer = True
+            return stalled
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class PieceLatchTable:
+    """Blocking piece latches for one cracker index, bucketed by position.
+
+    The latch for a piece is keyed by ``piece.start // granularity``:
+    granularity 1 gives one latch per piece (finest, most latches),
+    larger granularities trade latch count for contention, as in the
+    partition-level schemes of the multi-core adaptive-indexing
+    literature.  A table-level read/write latch layers on top so
+    whole-index operations (piece scans, sorts) can exclude all
+    piece-level traffic without enumerating keys.
+    """
+
+    def __init__(self, granularity: int = 1) -> None:
+        if granularity < 1:
+            raise ConfigError(
+                f"latch granularity must be >= 1, got {granularity}"
+            )
+        self.granularity = granularity
+        self._latches: dict[int, ReadWriteLatch] = {}
+        self._mutex = threading.Lock()
+        self._table = ReadWriteLatch()
+        self.stats = LatchStats()
+
+    def key_for(self, position: int) -> int:
+        """The latch bucket guarding a piece starting at ``position``."""
+        return position // self.granularity
+
+    def _latch(self, key: int) -> ReadWriteLatch:
+        with self._mutex:
+            latch = self._latches.get(key)
+            if latch is None:
+                latch = ReadWriteLatch()
+                self._latches[key] = latch
+            return latch
+
+    def _note(self, stalled: bool) -> bool:
+        with self._mutex:
+            self.stats.grants += 1
+            if stalled:
+                self.stats.conflicts += 1
+        return stalled
+
+    @contextmanager
+    def write_pieces(self, keys: list[int]) -> Iterator[bool]:
+        """Write-latch the buckets in ``keys``; yields True if stalled.
+
+        Keys are acquired in sorted order so concurrent multi-piece
+        acquirers (a select latching both of its bound pieces) cannot
+        deadlock.
+        """
+        ordered = sorted(set(keys))
+        stalled = self._table.acquire_read()
+        held: list[ReadWriteLatch] = []
+        try:
+            for key in ordered:
+                latch = self._latch(key)
+                stalled = latch.acquire_write() or stalled
+                held.append(latch)
+            yield self._note(stalled)
+        finally:
+            for latch in reversed(held):
+                latch.release_write()
+            self._table.release_read()
+            with self._mutex:
+                self.stats.releases += len(held)
+
+    @contextmanager
+    def read_piece(self, key: int) -> Iterator[bool]:
+        """Read-latch one bucket; yields True if the acquisition stalled."""
+        stalled = self._table.acquire_read()
+        latch = self._latch(key)
+        stalled = latch.acquire_read() or stalled
+        try:
+            yield self._note(stalled)
+        finally:
+            latch.release_read()
+            self._table.release_read()
+            with self._mutex:
+                self.stats.releases += 1
+
+    @contextmanager
+    def exclusive(self) -> Iterator[bool]:
+        """Latch the whole table (all pieces); yields True if stalled."""
+        stalled = self._table.acquire_write()
+        try:
+            yield self._note(stalled)
+        finally:
+            self._table.release_write()
+            with self._mutex:
+                self.stats.releases += 1
+
+
+class LatchedCrackerAccess:
+    """Piece-latched access to one :class:`CrackerIndex` for threads.
+
+    Foreground queries and tuning workers go through this facade while
+    a worker pool is active: each operation latches the bucket(s) of
+    the piece(s) it may restructure, revalidates the piece location
+    after acquisition (another thread's crack can move a value into a
+    newly created piece with a different latch key) and only then runs
+    the underlying index operation.  Stalls are reported to the index's
+    crack tape under the calling thread's worker attribution.
+    """
+
+    #: Bounded retries for the latch-revalidate loop; each retry means
+    #: another thread restructured the target piece between lookup and
+    #: latch grant, so progress is being made globally -- the bound
+    #: only guards against protocol bugs.
+    MAX_RETRIES = 10_000
+
+    def __init__(self, index: CrackerIndex, table: PieceLatchTable) -> None:
+        self.index = index
+        self.table = table
+
+    def _note_stall(self) -> None:
+        self.index.tape.note_stall()
+
+    def _keys_for(self, *values: float) -> list[int]:
+        with self.index.lock:
+            pieces = self.index.piece_map
+            return sorted(
+                {
+                    self.table.key_for(pieces.piece_for_value(v).start)
+                    for v in values
+                }
+            )
+
+    def select_range(
+        self,
+        low: float,
+        high: float,
+        origin: CrackOrigin = CrackOrigin.QUERY,
+    ) -> RangeView:
+        """A cracking range select under piece latches."""
+        for _ in range(self.MAX_RETRIES):
+            keys = self._keys_for(low, high)
+            with self.table.write_pieces(keys) as stalled:
+                if stalled:
+                    self._note_stall()
+                if self._keys_for(low, high) != keys:
+                    continue  # pieces moved while we waited; re-latch
+                return self.index.select_range(low, high, origin)
+        raise ConcurrencyError(
+            f"select [{low}, {high}) could not stabilise its piece "
+            f"latches after {self.MAX_RETRIES} retries"
+        )
+
+    def crack_value(
+        self,
+        value: float,
+        min_piece_size: int = 1,
+        origin: CrackOrigin = CrackOrigin.TUNING,
+    ) -> bool:
+        """One latched crack at ``value``; False if it degenerated.
+
+        Degenerate means the value is already a pivot or its piece is
+        at/below ``min_piece_size`` -- same contract as
+        :meth:`CrackerIndex.random_crack`.
+        """
+        for _ in range(self.MAX_RETRIES):
+            with self.index.lock:
+                pieces = self.index.piece_map
+                if pieces.has_pivot(value):
+                    return False
+                piece = pieces.piece_for_value(value)
+                key = self.table.key_for(piece.start)
+            with self.table.write_pieces([key]) as stalled:
+                if stalled:
+                    self._note_stall()
+                with self.index.lock:
+                    if pieces.has_pivot(value):
+                        return False
+                    piece = pieces.piece_for_value(value)
+                    if self.table.key_for(piece.start) != key:
+                        continue  # re-latch on the fresh key
+                    if piece.size <= min_piece_size:
+                        return False
+                    self.index.ensure_cut(value, origin)
+                    return True
+        raise ConcurrencyError(
+            f"crack at {value} could not stabilise its piece latch "
+            f"after {self.MAX_RETRIES} retries"
+        )
+
+    def exclusive(self):
+        """Whole-index latch for actions that scan or sort pieces."""
+        return self.table.exclusive()

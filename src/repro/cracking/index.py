@@ -18,7 +18,9 @@ indexing injects during idle time -- use the same machinery with
 
 from __future__ import annotations
 
+import functools
 import math
+import threading
 
 import numpy as np
 
@@ -37,6 +39,17 @@ from repro.simtime.charge import CostCharge
 from repro.simtime.clock import Clock, SimClock
 from repro.storage.column import Column
 from repro.storage.views import RangeView
+
+
+def _synchronized(method):
+    """Run ``method`` under the index's monitor lock."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self.lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 class CrackerIndex:
@@ -64,6 +77,13 @@ class CrackerIndex:
     ) -> None:
         self.column = column
         self.clock: Clock = clock if clock is not None else SimClock()
+        #: Monitor lock: every structural read-modify-write on the
+        #: cracker column and piece map runs under it, making the index
+        #: safe to share between tuning worker threads and foreground
+        #: queries.  Reentrant because select_range calls ensure_cut.
+        #: Piece-level concurrency semantics live one layer up, in
+        #: :class:`repro.cracking.concurrency.PieceLatchTable`.
+        self.lock = threading.RLock()
         self._array = column.copy_values()
         self._rowids = (
             np.arange(column.row_count, dtype=np.int64)
@@ -144,6 +164,7 @@ class CrackerIndex:
                 CostCharge(elements_materialized=self.row_count)
             )
 
+    @_synchronized
     def ensure_cut(
         self, value: float, origin: CrackOrigin = CrackOrigin.QUERY
     ) -> int:
@@ -176,6 +197,7 @@ class CrackerIndex:
         )
         return position
 
+    @_synchronized
     def ensure_cuts(
         self,
         values: list[float],
@@ -227,6 +249,7 @@ class CrackerIndex:
                     self.tape.record(now, origin, value, split, piece.size)
         return [positions[value] for value in values]
 
+    @_synchronized
     def select_range(
         self,
         low: float,
@@ -275,6 +298,7 @@ class CrackerIndex:
 
     # -- auxiliary refinement actions (holistic tuning) ------------------
 
+    @_synchronized
     def random_crack(
         self,
         rng: np.random.Generator,
@@ -301,6 +325,7 @@ class CrackerIndex:
             return None
         return self.ensure_cut(value, origin)
 
+    @_synchronized
     def crack_largest_piece(
         self,
         rng: np.random.Generator,
@@ -323,6 +348,7 @@ class CrackerIndex:
             return None
         return self.ensure_cut(value, origin)
 
+    @_synchronized
     def sort_piece_at(self, piece_index: int) -> Piece:
         """Fully sort one piece and mark it sorted.
 
@@ -348,6 +374,7 @@ class CrackerIndex:
 
     # -- validation ------------------------------------------------------
 
+    @_synchronized
     def check_invariants(self) -> None:
         """Verify the physical partitioning matches the piece map.
 

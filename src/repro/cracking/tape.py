@@ -7,10 +7,19 @@ of the piece it refined.  The tape powers:
 * the Figure-1 style timeline reproduction (`repro.bench.timeline`);
 * the workload monitor's view of *who* refined *what* and *when*;
 * debugging and the concurrency simulator's conflict analysis.
+
+When parallel tuning workers are active each record also carries the
+id of the worker that performed it (``None`` for foreground/serial
+work, so serial runs produce byte-identical tapes), and the tape
+counts per-worker *contention stalls* -- latch acquisitions that had
+to wait for another worker or a foreground query.  Appends are guarded
+by a lock so worker threads can share one tape.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -26,12 +35,14 @@ class TapeRecord:
     pivot: float
     position: int
     piece_size: int
+    worker: int | None = None
 
     def __repr__(self) -> str:
+        suffix = "" if self.worker is None else f", worker={self.worker}"
         return (
             f"TapeRecord(t={self.timestamp:.6f}, {self.origin.value}, "
             f"pivot={self.pivot}, pos={self.position}, "
-            f"piece={self.piece_size})"
+            f"piece={self.piece_size}{suffix})"
         )
 
 
@@ -41,6 +52,54 @@ class CrackTape:
     def __init__(self) -> None:
         self._records: list[TapeRecord] = []
         self._counts: dict[CrackOrigin, int] = {o: 0 for o in CrackOrigin}
+        self._stalls: dict[int | None, int] = {}
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- worker attribution --------------------------------------------
+
+    @contextmanager
+    def attribution(self, worker: int | None) -> Iterator[None]:
+        """Attribute records made by this thread to ``worker``."""
+        previous = getattr(self._tls, "worker", None)
+        self._tls.worker = worker
+        try:
+            yield
+        finally:
+            self._tls.worker = previous
+
+    def current_worker(self) -> int | None:
+        """The worker id attributed to the calling thread, if any."""
+        return getattr(self._tls, "worker", None)
+
+    def note_stall(self, worker: int | None = None) -> None:
+        """Count one contention stall (a latch wait) for ``worker``.
+
+        With no explicit worker the calling thread's attribution is
+        used, so latched index access can report stalls without knowing
+        which worker drives it.
+        """
+        if worker is None:
+            worker = self.current_worker()
+        with self._lock:
+            self._stalls[worker] = self._stalls.get(worker, 0) + 1
+
+    def stall_count(self, worker: int | None = ...) -> int:  # type: ignore[assignment]
+        """Stalls recorded, total or for one worker id."""
+        with self._lock:
+            if worker is ...:
+                return sum(self._stalls.values())
+            return self._stalls.get(worker, 0)
+
+    def records_by_worker(self) -> dict[int | None, int]:
+        """Record counts keyed by worker id (None = foreground)."""
+        with self._lock:
+            counts: dict[int | None, int] = {}
+            for record in self._records:
+                counts[record.worker] = counts.get(record.worker, 0) + 1
+            return counts
+
+    # -- recording ------------------------------------------------------
 
     def record(
         self,
@@ -49,22 +108,33 @@ class CrackTape:
         pivot: float,
         position: int,
         piece_size: int,
+        worker: int | None = None,
     ) -> TapeRecord:
-        """Append one action and return its record."""
-        entry = TapeRecord(timestamp, origin, pivot, position, piece_size)
-        self._records.append(entry)
-        self._counts[origin] += 1
+        """Append one action and return its record.
+
+        ``worker`` defaults to the calling thread's attribution (see
+        :meth:`attribution`); foreground/serial work records ``None``.
+        """
+        if worker is None:
+            worker = self.current_worker()
+        entry = TapeRecord(
+            timestamp, origin, pivot, position, piece_size, worker
+        )
+        with self._lock:
+            self._records.append(entry)
+            self._counts[origin] += 1
         return entry
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[TapeRecord]:
-        return iter(self._records)
+        return iter(self.records())
 
     def records(self) -> list[TapeRecord]:
         """All records, oldest first (copy)."""
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     def count(self, origin: CrackOrigin | None = None) -> int:
         """Number of actions, optionally filtered by origin."""
@@ -74,12 +144,15 @@ class CrackTape:
 
     def last(self) -> TapeRecord | None:
         """The most recent record, or None when empty."""
-        return self._records[-1] if self._records else None
+        with self._lock:
+            return self._records[-1] if self._records else None
 
     def since(self, timestamp: float) -> list[TapeRecord]:
         """Records strictly newer than ``timestamp``."""
-        return [r for r in self._records if r.timestamp > timestamp]
+        return [r for r in self.records() if r.timestamp > timestamp]
 
     def clear(self) -> None:
-        self._records.clear()
-        self._counts = {o: 0 for o in CrackOrigin}
+        with self._lock:
+            self._records.clear()
+            self._counts = {o: 0 for o in CrackOrigin}
+            self._stalls.clear()

@@ -19,6 +19,7 @@ from repro.holistic.policies import (
 from repro.holistic.ranking import ColumnRanking, ColumnTuningState
 from repro.holistic.scheduler import IdleScheduler, TuningReport
 from repro.holistic.tuner import ActionKind, AuxiliaryTuner
+from repro.holistic.workers import TuningWorkerPool, WorkerStats
 
 __all__ = [
     "ActionKind",
@@ -34,6 +35,8 @@ __all__ = [
     "TuningCostModel",
     "TuningPolicy",
     "TuningReport",
+    "TuningWorkerPool",
     "WeightedRandomPolicy",
+    "WorkerStats",
     "make_policy",
 ]

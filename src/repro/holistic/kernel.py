@@ -63,8 +63,18 @@ class HolisticConfig:
             "no knowledge" case).
         batch_tuning: apply each idle window's actions as per-column
             multi-pivot crack passes instead of one-at-a-time cracks
-            (the paper's "multiple tuning actions in one go").
+            (the paper's "multiple tuning actions in one go"); ignored
+            when parallel workers drain the window (each worker is its
+            own "batch").
         seed: seed for the tuner's random generator.
+        num_workers: parallel tuning workers draining idle windows
+            (the paper's idle-core claim).  ``0`` -- the default --
+            keeps the serial scheduler and reproduces pre-worker
+            behaviour bit-for-bit; ``>= 1`` routes idle windows
+            through a :class:`repro.holistic.workers.TuningWorkerPool`
+            with piece-level latching.
+        latch_granularity: rows per piece-latch bucket when workers
+            are enabled (1 = one latch per piece).
     """
 
     policy: str = "round_robin"
@@ -75,6 +85,8 @@ class HolisticConfig:
     bootstrap_from_catalog: bool = True
     batch_tuning: bool = False
     seed: int | None = 42
+    num_workers: int = 0
+    latch_granularity: int = 1
 
     def __post_init__(self) -> None:
         if self.hot_column_threshold < 0:
@@ -85,6 +97,15 @@ class HolisticConfig:
         if self.hot_boost_cracks < 0:
             raise ConfigError(
                 f"hot_boost_cracks must be >= 0: {self.hot_boost_cracks}"
+            )
+        if self.num_workers < 0:
+            raise ConfigError(
+                f"num_workers must be >= 0, got {self.num_workers}"
+            )
+        if self.latch_granularity < 1:
+            raise ConfigError(
+                "latch_granularity must be >= 1, got "
+                f"{self.latch_granularity}"
             )
 
 
@@ -125,6 +146,22 @@ class HolisticKernel(IndexingStrategy):
         self._hints: list[WorkloadStatement] = []
         self.idle_windows = 0
         self.boost_cracks_applied = 0
+        if self.config.num_workers > 0:
+            from repro.holistic.workers import TuningWorkerPool
+
+            self.worker_pool: TuningWorkerPool | None = TuningWorkerPool(
+                clock=self.clock,
+                tape=self.tape,
+                ranking=self.ranking,
+                policy=self.policy,
+                num_workers=self.config.num_workers,
+                latch_granularity=self.config.latch_granularity,
+                action=ActionKind(self.config.action),
+                min_piece_size=target,
+                seed=self.config.seed,
+            )
+        else:
+            self.worker_pool = None
 
     # -- index management ---------------------------------------------------
 
@@ -136,6 +173,8 @@ class HolisticKernel(IndexingStrategy):
             index = CrackerIndex(column, clock=self.clock, tape=self.tape)
             self.indexes[ref] = index
             self.ranking.register(ref, index)
+            if self.worker_pool is not None:
+                self.worker_pool.register_index(ref, index)
         return index
 
     def _candidate_refs(self) -> list[ColumnRef]:
@@ -179,7 +218,13 @@ class HolisticKernel(IndexingStrategy):
             query.ref, query.low, query.high, self.clock.now()
         )
         index = self.index_for(query.ref)
-        result = index.select_range(query.low, query.high)
+        if self.worker_pool is not None and self.worker_pool.is_running:
+            # Workers are racing us: take piece latches for the pieces
+            # this select may crack, exactly like the workers do.
+            access = self.worker_pool.register_index(query.ref, index)
+            result = access.select_range(query.low, query.high)
+        else:
+            result = index.select_range(query.low, query.high)
         self.ranking.note_query(query.ref)
         self._maybe_boost_hot_range(query, index)
         return result
@@ -203,8 +248,11 @@ class HolisticKernel(IndexingStrategy):
                 break
         if target is None:
             return
+        access = None
+        if self.worker_pool is not None and self.worker_pool.is_running:
+            access = self.worker_pool.register_index(query.ref, index)
         for _ in range(self.config.hot_boost_cracks):
-            if self.tuner.crack_in_hot_range(index, *target):
+            if self.tuner.crack_in_hot_range(index, *target, access=access):
                 self.boost_cracks_applied += 1
 
     def exploit_idle(
@@ -224,21 +272,36 @@ class HolisticKernel(IndexingStrategy):
             )
         self._register_candidates()
         self.idle_windows += 1
-        if actions is not None:
+        if self.worker_pool is not None:
+            report = self.worker_pool.run_window(
+                actions=actions, budget_s=budget_s
+            )
+            self.scheduler.lifetime.merge(report)
+            note = (
+                f"{report.actions_effective}/{report.actions_attempted} "
+                f"auxiliary actions on {report.workers} workers, "
+                f"{report.stalls} stalls ({report.stop_reason})"
+            )
+        elif actions is not None:
             if self.config.batch_tuning:
                 report = self.scheduler.run_actions_batched(actions)
             else:
                 report = self.scheduler.run_actions(actions)
+            note = (
+                f"{report.actions_effective}/{report.actions_attempted} "
+                f"auxiliary actions ({report.stop_reason})"
+            )
         else:
             report = self.scheduler.run_budget(budget_s)
+            note = (
+                f"{report.actions_effective}/{report.actions_attempted} "
+                f"auxiliary actions ({report.stop_reason})"
+            )
         return IdleOutcome(
             consumed_s=report.consumed_s,
             actions_done=report.actions_effective,
             blocking=False,
-            note=(
-                f"{report.actions_effective}/{report.actions_attempted} "
-                f"auxiliary actions ({report.stop_reason})"
-            ),
+            note=note,
         )
 
     def access_path(self, query: RangeQuery) -> AccessPath:
@@ -253,6 +316,52 @@ class HolisticKernel(IndexingStrategy):
             incremental_indexing=True,
             workload="dynamic",
         )
+
+    # -- worker lifecycle -----------------------------------------------------
+
+    def _require_pool(self):
+        if self.worker_pool is None:
+            raise ConfigError(
+                "kernel has no worker pool; configure num_workers >= 1"
+            )
+        return self.worker_pool
+
+    def start_workers(self) -> None:
+        """Start the tuning workers so they race foreground queries.
+
+        While running, foreground selects and idle windows go through
+        piece latches; tuning actions submitted with
+        :meth:`submit_tuning` drain in the background.
+
+        Raises:
+            ConfigError: if the kernel was configured without workers.
+        """
+        self._require_pool().start()
+
+    def submit_tuning(self, actions: int) -> None:
+        """Queue ``actions`` auxiliary refinements on running workers.
+
+        Raises:
+            ConfigError: without a running worker pool.
+        """
+        self._register_candidates()
+        self._require_pool().submit(actions)
+
+    def drain_workers(self) -> None:
+        """Block until all queued tuning actions are done.
+
+        Raises:
+            ConfigError: if the kernel was configured without workers.
+        """
+        self._require_pool().drain()
+
+    def stop_workers(self) -> None:
+        """Drain, stop the workers and fold their time into the clock.
+
+        Raises:
+            ConfigError: if the kernel was configured without workers.
+        """
+        self._require_pool().stop()
 
     # -- introspection ---------------------------------------------------------
 

@@ -22,13 +22,23 @@ from repro.storage.catalog import ColumnRef
 
 @dataclass(slots=True)
 class TuningReport:
-    """What one idle window achieved."""
+    """What one idle window achieved.
+
+    The last four fields are only populated by the parallel worker
+    pool (:mod:`repro.holistic.workers`); serial windows leave them at
+    their zero defaults, keeping serial reports identical to the
+    single-threaded kernel's.
+    """
 
     actions_attempted: int = 0
     actions_effective: int = 0
     consumed_s: float = 0.0
     per_column: dict[ColumnRef, int] = field(default_factory=dict)
     stop_reason: str = ""
+    per_worker: dict[int, int] = field(default_factory=dict)
+    stalls: int = 0
+    busy_s: float = 0.0
+    workers: int = 0
 
     def merge(self, other: "TuningReport") -> None:
         self.actions_attempted += other.actions_attempted
@@ -37,6 +47,11 @@ class TuningReport:
         for ref, count in other.per_column.items():
             self.per_column[ref] = self.per_column.get(ref, 0) + count
         self.stop_reason = other.stop_reason
+        for worker, count in other.per_worker.items():
+            self.per_worker[worker] = self.per_worker.get(worker, 0) + count
+        self.stalls += other.stalls
+        self.busy_s += other.busy_s
+        self.workers = max(self.workers, other.workers)
 
 
 class IdleScheduler:

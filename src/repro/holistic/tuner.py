@@ -80,6 +80,37 @@ class AuxiliaryTuner:
             self.actions_degenerate += 1
         return success
 
+    def perform_latched(self, access, kind: ActionKind | None = None) -> bool:
+        """Run one action through a latched access facade.
+
+        The worker-thread counterpart of :meth:`perform`: random
+        cracks latch only the target piece
+        (:meth:`LatchedCrackerAccess.crack_value`); data-driven kinds
+        scan the whole piece map, so they take the table-level latch.
+        Counters update exactly as in the serial path.
+        """
+        kind = kind if kind is not None else self.kind
+        if kind is ActionKind.RANDOM_CRACK:
+            index = access.index
+            success = False
+            stats = index.column.stats
+            if index.row_count > 0 and stats.value_span > 0:
+                value = float(
+                    self.rng.uniform(stats.min_value, stats.max_value)
+                )
+                success = access.crack_value(
+                    value, min_piece_size=self.min_piece_size
+                )
+            if success:
+                self.actions_performed += 1
+            else:
+                self.actions_degenerate += 1
+            return success
+        with access.exclusive() as stalled:
+            if stalled:
+                access.index.tape.note_stall()
+            return self.perform(access.index, kind)
+
     def perform_batch(self, index: CrackerIndex, count: int) -> int:
         """Apply ``count`` random cracks to ``index`` in one go.
 
@@ -108,17 +139,33 @@ class AuxiliaryTuner:
         return effective
 
     def crack_in_hot_range(
-        self, index: CrackerIndex, low: float, high: float
+        self,
+        index: CrackerIndex,
+        low: float,
+        high: float,
+        access=None,
     ) -> bool:
         """One random crack confined to a hot value range.
 
         Implements the paper's "no idle time" boost: when a column and
         value range are hot, extra cracks are injected there during
-        query processing.
+        query processing.  With ``access`` (a
+        :class:`~repro.cracking.concurrency.LatchedCrackerAccess`)
+        the crack goes through piece latches, for kernels whose tuning
+        workers are racing the foreground.
         """
         if high <= low:
             return False
         value = float(self.rng.uniform(low, high))
+        if access is not None:
+            success = access.crack_value(
+                value, min_piece_size=self.min_piece_size
+            )
+            if success:
+                self.actions_performed += 1
+            else:
+                self.actions_degenerate += 1
+            return success
         if index.piece_map.has_pivot(value):
             self.actions_degenerate += 1
             return False

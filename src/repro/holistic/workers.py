@@ -1,0 +1,421 @@
+"""Parallel idle-time tuning workers: the paper's idle-core claim.
+
+The paper's headline argument is that modern machines have idle CPU
+cores *while queries run*, and that a holistic kernel should spend
+them on continuous index refinement.  This module provides that
+machinery: a :class:`TuningWorkerPool` of real ``threading`` workers
+that drain auxiliary refinement actions concurrently -- with each
+other and with foreground query processing -- using the piece-level
+read/write latches of :mod:`repro.cracking.concurrency`, following the
+recipes of "Concurrency Control for Adaptive Indexing" (Graefe et al.)
+and "Main Memory Adaptive Indexing for Multi-core Systems" (Alvarez et
+al.).
+
+Three layers cooperate:
+
+* **latches** -- every structural operation latches the bucket of the
+  piece(s) it restructures (:class:`LatchedCrackerAccess`), so a
+  worker cracking one piece never conflicts with queries or workers
+  touching other pieces of the same index; conflicting accesses wait
+  and are counted as contention stalls on the crack tape;
+* **lanes** -- under a :class:`~repro.simtime.clock.SimClock` the pool
+  opens a *parallel phase*: each thread's charges accumulate on its
+  own lane and the phase advances virtual time by the **maximum**
+  lane, so N workers doing W seconds of aggregate refinement cost the
+  timeline ~W/N seconds, reproducing the paper's multi-core scaling
+  without needing real parallelism under the GIL;
+* **attribution** -- every tape record carries the id of the worker
+  that produced it, and per-worker stalls/actions are reported in the
+  window's :class:`~repro.holistic.scheduler.TuningReport`.
+
+The pool is strictly additive: a kernel with ``num_workers=0`` never
+constructs one and runs the serial scheduler bit-for-bit as before.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from repro.cracking.concurrency import LatchedCrackerAccess, PieceLatchTable
+from repro.cracking.index import CrackerIndex
+from repro.cracking.tape import CrackTape
+from repro.errors import ConcurrencyError, ConfigError
+from repro.holistic.policies import TuningPolicy
+from repro.holistic.ranking import ColumnRanking, ColumnTuningState
+from repro.holistic.scheduler import TuningReport
+from repro.holistic.tuner import ActionKind, AuxiliaryTuner
+from repro.simtime.clock import Clock
+from repro.storage.catalog import ColumnRef
+
+#: Queue sentinel that tells a worker thread to exit its loop.
+_STOP = object()
+
+
+@dataclass(slots=True)
+class WorkerStats:
+    """Lifetime statistics of one tuning worker."""
+
+    worker_id: int
+    actions_attempted: int = 0
+    actions_effective: int = 0
+    stalls: int = 0
+    busy_s: float = 0.0
+
+
+@dataclass(slots=True)
+class _Window:
+    """Aggregates of the idle window currently being drained."""
+
+    attempted: int = 0
+    effective: int = 0
+    per_column: dict[ColumnRef, int] = field(default_factory=dict)
+    per_worker: dict[int, int] = field(default_factory=dict)
+    exhausted: bool = False
+
+
+class TuningWorkerPool:
+    """N threads draining auxiliary refinements under piece latches.
+
+    Args:
+        clock: the shared engine clock; parallel phases are opened on
+            it while the pool runs (``SimClock`` lanes make wall-clock
+            the max over workers, ``WallClock`` overlaps by itself).
+        tape: the kernel's crack tape; receives worker attribution and
+            stall counts.
+        ranking: the continuous column ranking workers pick from.
+        policy: resource-spreading policy (shared, guarded by a lock).
+        num_workers: worker thread count (>= 1).
+        latch_granularity: rows per piece-latch bucket (>= 1; 1 gives
+            one latch per piece).
+        action: auxiliary action kind each worker performs.
+        min_piece_size: cache-fit stopping criterion, in rows.
+        seed: base seed; worker ``i`` gets an independent generator
+            seeded ``seed + i + 1`` so runs are reproducible for every
+            worker count.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        tape: CrackTape,
+        ranking: ColumnRanking,
+        policy: TuningPolicy,
+        num_workers: int,
+        latch_granularity: int = 1,
+        action: ActionKind = ActionKind.RANDOM_CRACK,
+        min_piece_size: int = 2,
+        seed: int | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ConfigError(
+                f"a worker pool needs num_workers >= 1, got {num_workers}"
+            )
+        if latch_granularity < 1:
+            raise ConfigError(
+                f"latch_granularity must be >= 1, got {latch_granularity}"
+            )
+        self.clock = clock
+        self.tape = tape
+        self.ranking = ranking
+        self.policy = policy
+        self.num_workers = num_workers
+        self.latch_granularity = latch_granularity
+        self.action = action
+        self.min_piece_size = min_piece_size
+        self.stats: dict[int, WorkerStats] = {
+            i: WorkerStats(worker_id=i) for i in range(num_workers)
+        }
+        self._tuners = [
+            AuxiliaryTuner(
+                kind=action,
+                seed=None if seed is None else seed + i + 1,
+                min_piece_size=min_piece_size,
+            )
+            for i in range(num_workers)
+        ]
+        self._accesses: dict[ColumnRef, LatchedCrackerAccess] = {}
+        self._access_lock = threading.Lock()
+        # One queue per worker, filled round-robin: static chunking
+        # keeps the lanes balanced regardless of how the GIL schedules
+        # the threads, so N workers reliably cost ~1/N the elapsed
+        # virtual time (the multi-core chunking of Alvarez et al.).
+        self._queues: list[queue.Queue[object]] = [
+            queue.Queue() for _ in range(num_workers)
+        ]
+        self._next_queue = 0
+        self._threads: list[threading.Thread] = []
+        self._idents: dict[int, int] = {}  # thread ident -> worker id
+        self._policy_lock = threading.Lock()
+        self._window_lock = threading.Lock()
+        self._window = _Window()
+        self._running = False
+        self._failure: BaseException | None = None
+        self.windows_run = 0
+
+    # -- index registration --------------------------------------------
+
+    def register_index(
+        self, ref: ColumnRef, index: CrackerIndex
+    ) -> LatchedCrackerAccess:
+        """Create (or return) the latched access facade for ``ref``.
+
+        Each index gets its own latch table: piece positions of
+        different columns live in different spaces.
+        """
+        with self._access_lock:
+            access = self._accesses.get(ref)
+            if access is None:
+                table = PieceLatchTable(self.latch_granularity)
+                access = LatchedCrackerAccess(index, table)
+                self._accesses[ref] = access
+            return access
+
+    def access_for(self, ref: ColumnRef) -> LatchedCrackerAccess | None:
+        """The latched facade for ``ref``, if registered."""
+        return self._accesses.get(ref)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Spawn the worker threads and open a parallel clock phase.
+
+        Idempotent while running.
+        """
+        if self._running:
+            return
+        self._failure = None
+        if hasattr(self.clock, "begin_parallel"):
+            self.clock.begin_parallel()
+        self._threads = []
+        self._idents = {}
+        for worker_id in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(worker_id,),
+                name=f"tuning-worker-{worker_id}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+        self._running = True
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, actions: int) -> None:
+        """Enqueue ``actions`` refinement attempts for the workers.
+
+        Raises:
+            ConfigError: if the pool is not running or ``actions`` < 0.
+        """
+        if not self._running:
+            raise ConfigError("worker pool is not running; call start()")
+        if actions < 0:
+            raise ConfigError(f"actions must be >= 0, got {actions}")
+        for _ in range(actions):
+            self._queues[self._next_queue].put(None)
+            self._next_queue = (self._next_queue + 1) % self.num_workers
+
+    def drain(self) -> None:
+        """Block until every submitted action has been processed.
+
+        Raises:
+            ConcurrencyError: re-raising the first worker failure, if
+                any worker thread died.
+        """
+        for line in self._queues:
+            line.join()
+        self._check_failure()
+
+    def stop(self):
+        """Drain, join the threads and close the parallel clock phase.
+
+        Returns the phase's :class:`~repro.simtime.clock.ParallelAccount`
+        (or ``None`` on clocks without parallel accounting); per-worker
+        ``busy_s`` statistics are updated from its lanes.
+        """
+        if not self._running:
+            return None
+        for line in self._queues:
+            line.join()
+        for line in self._queues:
+            line.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        for line in self._queues:
+            line.join()
+        self._running = False
+        account = None
+        if hasattr(self.clock, "end_parallel"):
+            account = self.clock.end_parallel()
+            for ident, busy in account.lanes.items():
+                worker_id = self._idents.get(ident)
+                if worker_id is not None:
+                    self.stats[worker_id].busy_s += busy
+        self._check_failure()
+        return account
+
+    def _check_failure(self) -> None:
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            raise ConcurrencyError(
+                f"tuning worker died: {failure!r}"
+            ) from failure
+
+    # -- windows --------------------------------------------------------
+
+    def run_window(
+        self,
+        actions: int | None = None,
+        budget_s: float | None = None,
+    ) -> TuningReport:
+        """Drain one idle window through the workers.
+
+        Mirrors the serial :class:`IdleScheduler` semantics: an action
+        count is dispatched in full; a time budget is checked between
+        batches, so the last batch may slightly overshoot.  The window
+        report's ``consumed_s`` is the parallel elapsed time (max over
+        worker lanes), and ``busy_s`` the aggregate work.
+
+        If the pool is not already running the window owns the whole
+        lifecycle (start, drain, stop); a pool started explicitly --
+        e.g. to race workers against foreground queries -- stays
+        running afterwards.
+
+        Raises:
+            ConfigError: if neither an action count nor a budget is
+                given, or the given one is negative.
+        """
+        if actions is None and budget_s is None:
+            raise ConfigError(
+                "a worker window needs an action count or a time budget"
+            )
+        if actions is not None and actions < 0:
+            raise ConfigError(f"actions must be >= 0, got {actions}")
+        if budget_s is not None and budget_s < 0:
+            raise ConfigError(f"budget must be >= 0, got {budget_s}")
+        owns_lifecycle = not self._running
+        self.start()
+        # Clocks without parallel accounting (bare Clock protocol
+        # implementations) fall back to plain now() deltas, so time
+        # budgets still terminate.
+        lanes = hasattr(self.clock, "parallel_elapsed")
+        now_before = self.clock.now()
+        elapsed_before = self._parallel_elapsed()
+        busy_before = self._parallel_busy()
+        stalls_before = self.tape.stall_count()
+
+        def elapsed() -> float:
+            if lanes:
+                return self._parallel_elapsed() - elapsed_before
+            return self.clock.now() - now_before
+
+        with self._window_lock:
+            self._window = _Window()
+            window = self._window
+        if actions is not None:
+            self.submit(actions)
+            self.drain()
+        else:
+            while not window.exhausted and elapsed() < budget_s:
+                self.submit(self.num_workers)
+                self.drain()
+        consumed = elapsed()
+        busy = self._parallel_busy() - busy_before if lanes else consumed
+        if owns_lifecycle:
+            self.stop()
+        report = TuningReport(
+            actions_attempted=window.attempted,
+            actions_effective=window.effective,
+            consumed_s=consumed,
+            per_column=dict(window.per_column),
+            stop_reason=(
+                "all candidates refined"
+                if window.exhausted
+                else (
+                    "action budget exhausted"
+                    if actions is not None
+                    else "time budget exhausted"
+                )
+            ),
+            per_worker=dict(window.per_worker),
+            stalls=self.tape.stall_count() - stalls_before,
+            busy_s=busy,
+            workers=self.num_workers,
+        )
+        self.windows_run += 1
+        return report
+
+    def _parallel_elapsed(self) -> float:
+        if hasattr(self.clock, "parallel_elapsed"):
+            return self.clock.parallel_elapsed()
+        return 0.0
+
+    def _parallel_busy(self) -> float:
+        if hasattr(self.clock, "parallel_busy"):
+            return self.clock.parallel_busy()
+        return 0.0
+
+    # -- the workers ----------------------------------------------------
+
+    def _worker_loop(self, worker_id: int) -> None:
+        self._idents[threading.get_ident()] = worker_id
+        line = self._queues[worker_id]
+        while True:
+            token = line.get()
+            try:
+                if token is _STOP:
+                    return
+                if self._failure is None:
+                    self._perform_one(worker_id)
+            except BaseException as exc:  # noqa: BLE001 - reported at drain
+                self._failure = exc
+            finally:
+                line.task_done()
+
+    def _perform_one(self, worker_id: int) -> None:
+        stats = self.stats[worker_id]
+        with self._policy_lock:
+            state = self.policy.choose(self.ranking)
+        if state is None:
+            with self._window_lock:
+                self._window.exhausted = True
+            return
+        access = self.register_index(state.ref, state.index)
+        stalls_before = self.tape.stall_count(worker_id)
+        with self.tape.attribution(worker_id):
+            effective = self._perform_action(worker_id, state, access)
+        stats.actions_attempted += 1
+        stats.stalls += self.tape.stall_count(worker_id) - stalls_before
+        if effective:
+            stats.actions_effective += 1
+            with self._policy_lock:
+                self.ranking.note_tuning_action(state.ref)
+        with self._window_lock:
+            window = self._window
+            window.attempted += 1
+            if effective:
+                window.effective += 1
+                window.per_column[state.ref] = (
+                    window.per_column.get(state.ref, 0) + 1
+                )
+                window.per_worker[worker_id] = (
+                    window.per_worker.get(worker_id, 0) + 1
+                )
+
+    def _perform_action(
+        self,
+        worker_id: int,
+        state: ColumnTuningState,
+        access: LatchedCrackerAccess,
+    ) -> bool:
+        """One auxiliary action under the appropriate latches."""
+        return self._tuners[worker_id].perform_latched(access)
+
+    def worker_stats(self) -> list[WorkerStats]:
+        """Per-worker lifetime statistics, by worker id."""
+        return [self.stats[i] for i in range(self.num_workers)]

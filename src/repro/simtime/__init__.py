@@ -9,7 +9,13 @@ provided for genuine measurements of the numpy kernels.
 """
 
 from repro.simtime.charge import CostCharge
-from repro.simtime.clock import Clock, SimClock, Stopwatch, WallClock
+from repro.simtime.clock import (
+    Clock,
+    ParallelAccount,
+    SimClock,
+    Stopwatch,
+    WallClock,
+)
 from repro.simtime.costs import (
     PAPER_ADAPTIVE_TOTAL_S,
     PAPER_COLUMN_ROWS,
@@ -44,6 +50,7 @@ __all__ = [
     "PAPER_SORT_S",
     "PAPER_VALUE_HIGH",
     "PAPER_VALUE_LOW",
+    "ParallelAccount",
     "SimClock",
     "Stopwatch",
     "WallClock",

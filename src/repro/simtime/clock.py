@@ -6,16 +6,49 @@ advances virtual time according to the calibrated cost model; under a
 :class:`WallClock` charges are counted but time flows by itself.  This
 lets the same experiment code produce both the paper-scale projection
 and genuine wall-clock measurements.
+
+Parallel phases model the paper's idle-core claim: between
+:meth:`SimClock.begin_parallel` and :meth:`SimClock.end_parallel`,
+charges accumulate on per-thread *lanes* instead of advancing the
+shared timeline, and the phase advances virtual time by the **maximum**
+lane (wall-clock is the slowest worker, not the sum of all workers).
+The sum of all lanes is still reported as busy time, so experiments can
+quote both elapsed seconds and aggregate CPU work.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 from repro.errors import ConfigError
 from repro.simtime.charge import CostCharge
 from repro.simtime.model import CostModel
+
+
+@dataclass(slots=True)
+class ParallelAccount:
+    """What one parallel phase cost.
+
+    Attributes:
+        elapsed_s: virtual wall-clock of the phase -- the maximum lane.
+        busy_s: aggregate work across all lanes (the serial-equivalent
+            cost; ``busy_s / elapsed_s`` is the achieved speedup).
+        lanes: per-lane busy seconds, keyed by thread ident.
+    """
+
+    elapsed_s: float = 0.0
+    busy_s: float = 0.0
+    lanes: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Busy-to-elapsed ratio; 1.0 for an empty phase."""
+        if self.elapsed_s <= 0:
+            return 1.0
+        return self.busy_s / self.elapsed_s
 
 
 @runtime_checkable
@@ -47,24 +80,89 @@ class SimClock:
         self.model = model if model is not None else CostModel()
         self._now = 0.0
         self.total_charge = CostCharge()
+        self._parallel = False
+        self._parallel_base = 0.0
+        self._lanes: dict[int, float] = {}
+        self._lane_lock = threading.Lock()
 
     def now(self) -> float:
+        if self._parallel:
+            lane = self._lanes.get(threading.get_ident(), 0.0)
+            return self._parallel_base + lane
         return self._now
 
     def charge(self, charge: CostCharge) -> float:
         seconds = self.model.seconds(charge)
-        self._now += seconds
-        self.total_charge += charge
+        if self._parallel:
+            with self._lane_lock:
+                ident = threading.get_ident()
+                self._lanes[ident] = self._lanes.get(ident, 0.0) + seconds
+                self.total_charge += charge
+        else:
+            self._now += seconds
+            self.total_charge += charge
         return seconds
 
     def sleep(self, seconds: float) -> None:
         if seconds < 0:
             raise ConfigError(f"cannot sleep a negative time: {seconds}")
-        self._now += seconds
+        if self._parallel:
+            with self._lane_lock:
+                ident = threading.get_ident()
+                self._lanes[ident] = self._lanes.get(ident, 0.0) + seconds
+        else:
+            self._now += seconds
 
     def advance(self, seconds: float) -> None:
         """Alias of :meth:`sleep` for non-idle administrative jumps."""
         self.sleep(seconds)
+
+    # -- parallel phases (idle-core tuning) -----------------------------
+
+    @property
+    def in_parallel(self) -> bool:
+        """Whether a parallel phase is currently open."""
+        return self._parallel
+
+    def begin_parallel(self) -> None:
+        """Open a parallel phase: charges go to per-thread lanes.
+
+        Raises:
+            ConfigError: if a phase is already open (no nesting).
+        """
+        if self._parallel:
+            raise ConfigError("parallel phases cannot nest")
+        self._parallel_base = self._now
+        self._lanes = {}
+        self._parallel = True
+
+    def parallel_elapsed(self) -> float:
+        """The phase's elapsed time so far: the maximum lane."""
+        with self._lane_lock:
+            return max(self._lanes.values(), default=0.0)
+
+    def parallel_busy(self) -> float:
+        """The phase's aggregate work so far: the sum of all lanes."""
+        with self._lane_lock:
+            return sum(self._lanes.values())
+
+    def end_parallel(self) -> ParallelAccount:
+        """Close the phase; advance time by the maximum lane.
+
+        Raises:
+            ConfigError: if no phase is open.
+        """
+        if not self._parallel:
+            raise ConfigError("no parallel phase to end")
+        with self._lane_lock:
+            lanes = dict(self._lanes)
+            self._lanes = {}
+        self._parallel = False
+        elapsed = max(lanes.values(), default=0.0)
+        self._now = self._parallel_base + elapsed
+        return ParallelAccount(
+            elapsed_s=elapsed, busy_s=sum(lanes.values()), lanes=lanes
+        )
 
 
 class WallClock:
@@ -73,6 +171,7 @@ class WallClock:
     def __init__(self) -> None:
         self._origin = time.perf_counter()
         self.total_charge = CostCharge()
+        self._parallel_start: float | None = None
 
     def now(self) -> float:
         return time.perf_counter() - self._origin
@@ -85,6 +184,42 @@ class WallClock:
         if seconds < 0:
             raise ConfigError(f"cannot sleep a negative time: {seconds}")
         time.sleep(seconds)
+
+    # -- parallel phases: wall time overlaps by itself -------------------
+
+    @property
+    def in_parallel(self) -> bool:
+        return self._parallel_start is not None
+
+    def begin_parallel(self) -> None:
+        """Open a parallel phase (wall time already runs in parallel).
+
+        Raises:
+            ConfigError: if a phase is already open (no nesting).
+        """
+        if self._parallel_start is not None:
+            raise ConfigError("parallel phases cannot nest")
+        self._parallel_start = self.now()
+
+    def parallel_elapsed(self) -> float:
+        if self._parallel_start is None:
+            return 0.0
+        return self.now() - self._parallel_start
+
+    def parallel_busy(self) -> float:
+        return self.parallel_elapsed()
+
+    def end_parallel(self) -> ParallelAccount:
+        """Close the phase; elapsed and busy are both real time.
+
+        Raises:
+            ConfigError: if no phase is open.
+        """
+        if self._parallel_start is None:
+            raise ConfigError("no parallel phase to end")
+        elapsed = self.now() - self._parallel_start
+        self._parallel_start = None
+        return ParallelAccount(elapsed_s=elapsed, busy_s=elapsed)
 
 
 class Stopwatch:

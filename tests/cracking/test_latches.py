@@ -1,0 +1,205 @@
+"""Unit tests for the blocking latch layer used by tuning workers."""
+
+import threading
+
+import pytest
+
+from repro.cracking.concurrency import (
+    LatchedCrackerAccess,
+    PieceLatchTable,
+    ReadWriteLatch,
+)
+from repro.cracking.index import CrackerIndex
+from repro.cracking.piece import CrackOrigin
+from repro.errors import ConfigError
+
+from tests.conftest import ground_truth_count
+
+
+# -- ReadWriteLatch ------------------------------------------------------
+
+
+def test_uncontended_acquisitions_do_not_stall():
+    latch = ReadWriteLatch()
+    assert latch.acquire_read() is False
+    assert latch.acquire_read() is False  # readers share
+    latch.release_read()
+    latch.release_read()
+    assert latch.acquire_write() is False
+    latch.release_write()
+
+
+def test_writer_waits_for_readers_and_reports_the_stall():
+    latch = ReadWriteLatch()
+    latch.acquire_read()
+    outcome = []
+    writer = threading.Thread(
+        target=lambda: outcome.append(latch.acquire_write())
+    )
+    writer.start()
+    # Writer must be parked until the reader leaves.
+    writer.join(timeout=0.05)
+    assert writer.is_alive()
+    latch.release_read()
+    writer.join(timeout=5)
+    assert not writer.is_alive()
+    assert outcome == [True]  # it had to wait -> contention stall
+    latch.release_write()
+
+
+def test_reader_waits_for_writer():
+    latch = ReadWriteLatch()
+    latch.acquire_write()
+    outcome = []
+    reader = threading.Thread(
+        target=lambda: outcome.append(latch.acquire_read())
+    )
+    reader.start()
+    reader.join(timeout=0.05)
+    assert reader.is_alive()
+    latch.release_write()
+    reader.join(timeout=5)
+    assert not reader.is_alive()
+    assert outcome == [True]
+    latch.release_read()
+
+
+# -- PieceLatchTable -----------------------------------------------------
+
+
+def test_granularity_buckets_positions():
+    table = PieceLatchTable(granularity=100)
+    assert table.key_for(0) == 0
+    assert table.key_for(99) == 0
+    assert table.key_for(100) == 1
+    assert table.key_for(250) == 2
+    with pytest.raises(ConfigError):
+        PieceLatchTable(granularity=0)
+
+
+def test_disjoint_buckets_do_not_conflict():
+    table = PieceLatchTable()
+    entered = threading.Event()
+    release = threading.Event()
+
+    def hold_key_zero():
+        with table.write_pieces([0]):
+            entered.set()
+            release.wait(timeout=5)
+
+    holder = threading.Thread(target=hold_key_zero)
+    holder.start()
+    assert entered.wait(timeout=5)
+    with table.write_pieces([500]) as stalled:
+        assert stalled is False  # other bucket: no conflict
+    release.set()
+    holder.join()
+    assert table.stats.conflicts == 0
+    assert table.stats.grants == 2
+
+
+def test_same_bucket_conflicts_and_counts_a_stall():
+    table = PieceLatchTable()
+    entered = threading.Event()
+    release = threading.Event()
+
+    def hold():
+        with table.write_pieces([7]):
+            entered.set()
+            release.wait(timeout=5)
+
+    holder = threading.Thread(target=hold)
+    holder.start()
+    assert entered.wait(timeout=5)
+    stalls = []
+
+    def contender():
+        with table.write_pieces([7]) as stalled:
+            stalls.append(stalled)
+
+    thread = threading.Thread(target=contender)
+    thread.start()
+    thread.join(timeout=0.05)
+    assert thread.is_alive()  # parked behind the holder
+    release.set()
+    holder.join()
+    thread.join(timeout=5)
+    assert stalls == [True]
+    assert table.stats.conflicts == 1
+
+
+def test_exclusive_excludes_piece_level_traffic():
+    table = PieceLatchTable()
+    entered = threading.Event()
+    release = threading.Event()
+
+    def hold_exclusive():
+        with table.exclusive():
+            entered.set()
+            release.wait(timeout=5)
+
+    holder = threading.Thread(target=hold_exclusive)
+    holder.start()
+    assert entered.wait(timeout=5)
+    stalls = []
+
+    def piece_user():
+        with table.write_pieces([3]) as stalled:
+            stalls.append(stalled)
+
+    thread = threading.Thread(target=piece_user)
+    thread.start()
+    thread.join(timeout=0.05)
+    assert thread.is_alive()
+    release.set()
+    holder.join()
+    thread.join(timeout=5)
+    assert stalls == [True]
+
+
+def test_multi_key_acquisition_orders_keys():
+    table = PieceLatchTable()
+    with table.write_pieces([9, 2, 9]) as stalled:
+        assert stalled is False
+    # Two distinct buckets acquired and released.
+    assert table.stats.grants == 1
+    assert table.stats.releases == 2
+
+
+def test_read_piece_shares_with_readers():
+    table = PieceLatchTable()
+    with table.read_piece(1) as first:
+        with table.read_piece(1) as second:
+            assert first is False
+            assert second is False
+
+
+# -- LatchedCrackerAccess ------------------------------------------------
+
+
+def test_latched_select_matches_plain_select(small_column):
+    plain = CrackerIndex(small_column)
+    latched_index = CrackerIndex(small_column)
+    access = LatchedCrackerAccess(latched_index, PieceLatchTable())
+    bounds = [(0, 2e7), (1e7, 5e7), (4.2e7, 4.21e7), (9e7, 1e8)]
+    for low, high in bounds:
+        expected = plain.select_range(low, high)
+        got = access.select_range(low, high)
+        assert got.count == expected.count
+        assert got.count == ground_truth_count(small_column, low, high)
+    assert latched_index.piece_map.pivots() == plain.piece_map.pivots()
+    latched_index.check_invariants()
+
+
+def test_latched_crack_value_contract(small_column):
+    index = CrackerIndex(small_column)
+    access = LatchedCrackerAccess(index, PieceLatchTable())
+    assert access.crack_value(5e7, origin=CrackOrigin.TUNING) is True
+    # Same value again: already a pivot -> degenerate.
+    assert access.crack_value(5e7, origin=CrackOrigin.TUNING) is False
+    # A huge min size: piece too small -> degenerate.
+    assert (
+        access.crack_value(2.5e7, min_piece_size=10**9) is False
+    )
+    assert index.piece_map.has_pivot(5e7)
+    index.check_invariants()

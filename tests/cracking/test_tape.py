@@ -54,3 +54,39 @@ def test_index_integration_records_origins(small_column, sim_clock):
     # Timestamps come from the shared clock, monotonically.
     stamps = [r.timestamp for r in index.tape]
     assert stamps == sorted(stamps)
+
+
+def test_worker_attribution_context():
+    tape = CrackTape()
+    tape.record(0.1, CrackOrigin.QUERY, 1.0, 0, 10)
+    with tape.attribution(3):
+        assert tape.current_worker() == 3
+        tape.record(0.2, CrackOrigin.TUNING, 2.0, 1, 9)
+        with tape.attribution(None):
+            tape.record(0.3, CrackOrigin.TUNING, 3.0, 2, 8)
+    assert tape.current_worker() is None
+    workers = [r.worker for r in tape.records()]
+    assert workers == [None, 3, None]
+    assert tape.records_by_worker() == {None: 2, 3: 1}
+
+
+def test_worker_repr_only_when_attributed():
+    tape = CrackTape()
+    plain = tape.record(0.1, CrackOrigin.QUERY, 1.0, 0, 10)
+    assert "worker" not in repr(plain)
+    attributed = tape.record(0.2, CrackOrigin.TUNING, 2.0, 1, 9, worker=2)
+    assert "worker=2" in repr(attributed)
+
+
+def test_stall_counters_per_worker_and_total():
+    tape = CrackTape()
+    assert tape.stall_count() == 0
+    tape.note_stall(1)
+    tape.note_stall(1)
+    with tape.attribution(2):
+        tape.note_stall()  # falls back to the thread's attribution
+    assert tape.stall_count(1) == 2
+    assert tape.stall_count(2) == 1
+    assert tape.stall_count() == 3
+    tape.clear()
+    assert tape.stall_count() == 0

@@ -1,0 +1,131 @@
+"""Unit tests for the parallel-phase accounting of the clocks."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simtime.charge import CostCharge
+from repro.simtime.clock import ParallelAccount, SimClock, WallClock
+from repro.simtime.model import CostModel
+
+
+def _charge_seconds(clock, elements):
+    return clock.charge(CostCharge(elements_scanned=elements))
+
+
+def test_serial_charges_unchanged_by_phase_support():
+    clock = SimClock(CostModel())
+    seconds = _charge_seconds(clock, 1_000_000)
+    assert clock.now() == pytest.approx(seconds)
+    assert not clock.in_parallel
+
+
+def test_phase_advances_by_max_lane():
+    clock = SimClock(CostModel())
+    clock.begin_parallel()
+
+    def lane(elements):
+        _charge_seconds(clock, elements)
+
+    threads = [
+        threading.Thread(target=lane, args=(4_000_000,)),
+        threading.Thread(target=lane, args=(1_000_000,)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    account = clock.end_parallel()
+    expected_max = CostModel().seconds(
+        CostCharge(elements_scanned=4_000_000)
+    )
+    expected_sum = CostModel().seconds(
+        CostCharge(elements_scanned=5_000_000)
+    )
+    assert account.elapsed_s == pytest.approx(expected_max)
+    assert account.busy_s == pytest.approx(expected_sum)
+    assert clock.now() == pytest.approx(expected_max)
+    assert len(account.lanes) == 2
+    assert account.speedup == pytest.approx(
+        expected_sum / expected_max
+    )
+
+
+def test_lane_local_now_during_phase():
+    clock = SimClock(CostModel())
+    clock.begin_parallel()
+    base = clock.now()
+    seconds = _charge_seconds(clock, 2_000_000)
+    # This thread sees its own lane's progress...
+    assert clock.now() == pytest.approx(base + seconds)
+    seen_in_thread = []
+    other = threading.Thread(
+        target=lambda: seen_in_thread.append(clock.now())
+    )
+    other.start()
+    other.join()
+    # ...while a fresh thread still sits at the phase's base time.
+    assert seen_in_thread[0] == pytest.approx(base)
+    clock.end_parallel()
+
+
+def test_phase_progress_probes():
+    clock = SimClock(CostModel())
+    clock.begin_parallel()
+    assert clock.parallel_elapsed() == 0.0
+    assert clock.parallel_busy() == 0.0
+    seconds = _charge_seconds(clock, 1_000_000)
+    assert clock.parallel_elapsed() == pytest.approx(seconds)
+    assert clock.parallel_busy() == pytest.approx(seconds)
+    clock.end_parallel()
+
+
+def test_empty_phase_costs_nothing():
+    clock = SimClock(CostModel())
+    clock.sleep(1.0)
+    clock.begin_parallel()
+    account = clock.end_parallel()
+    assert account == ParallelAccount()
+    assert clock.now() == pytest.approx(1.0)
+    assert account.speedup == 1.0
+
+
+def test_phases_cannot_nest_and_need_to_be_open():
+    clock = SimClock(CostModel())
+    clock.begin_parallel()
+    with pytest.raises(ConfigError):
+        clock.begin_parallel()
+    clock.end_parallel()
+    with pytest.raises(ConfigError):
+        clock.end_parallel()
+
+
+def test_sleep_lands_on_the_callers_lane():
+    clock = SimClock(CostModel())
+    clock.begin_parallel()
+    clock.sleep(0.25)
+    account = clock.end_parallel()
+    assert account.elapsed_s == pytest.approx(0.25)
+    assert clock.now() == pytest.approx(0.25)
+
+
+def test_total_charge_still_accumulates_in_phase():
+    clock = SimClock(CostModel())
+    clock.begin_parallel()
+    _charge_seconds(clock, 123)
+    clock.end_parallel()
+    assert clock.total_charge.elements_scanned == 123
+
+
+def test_wall_clock_phase_reports_real_time():
+    clock = WallClock()
+    with pytest.raises(ConfigError):
+        clock.end_parallel()
+    clock.begin_parallel()
+    assert clock.in_parallel
+    with pytest.raises(ConfigError):
+        clock.begin_parallel()
+    account = clock.end_parallel()
+    assert account.elapsed_s >= 0.0
+    assert account.busy_s == pytest.approx(account.elapsed_s)
