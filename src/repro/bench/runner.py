@@ -13,6 +13,7 @@ Usage::
     python -m repro.bench ablation-stochastic
     python -m repro.bench ablation-cache
     python -m repro.bench ablation-batch
+    python -m repro.bench hotpath --quick
     python -m repro.bench all
 
 Every command prints the rows/series of the corresponding paper
@@ -65,6 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "ablation-stochastic",
             "ablation-cache",
             "ablation-batch",
+            "hotpath",
             "all",
         ],
         help="which artefact to regenerate",
@@ -97,6 +99,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write exp1/exp2 series as CSV into this directory",
     )
+    hotpath = parser.add_argument_group("hotpath options")
+    hotpath.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized hotpath run (100k rows, 1k queries)",
+    )
+    hotpath.add_argument(
+        "--rows", type=int, default=None, help="hotpath row count"
+    )
+    hotpath.add_argument(
+        "--queries", type=int, default=None, help="hotpath query count"
+    )
+    hotpath.add_argument(
+        "--out",
+        default=None,
+        help="hotpath JSON output path (default: BENCH_hotpath.json)",
+    )
+    hotpath.add_argument(
+        "--baseline-json",
+        default=None,
+        help="embed this earlier hotpath JSON as the run's baseline",
+    )
+    hotpath.add_argument(
+        "--check",
+        default=None,
+        help=(
+            "compare against this committed hotpath JSON; exit non-zero "
+            "on a >2x throughput regression or fingerprint divergence"
+        ),
+    )
     return parser
 
 
@@ -104,6 +136,21 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     scale = scale_by_name(args.scale)
     outputs: list[str] = []
+
+    if args.command == "hotpath":
+        from repro.bench.hotpath import run_hotpath_command
+
+        text, exit_code = run_hotpath_command(
+            rows=args.rows,
+            queries=args.queries,
+            seed=args.seed,
+            quick=args.quick,
+            out=args.out,
+            baseline_path=args.baseline_json,
+            check_path=args.check,
+        )
+        print(text)
+        return exit_code
 
     def want(name: str) -> bool:
         return args.command in (name, "all")

@@ -17,8 +17,11 @@ from repro.cracking.concurrency import (
     ScheduleReport,
 )
 from repro.cracking.engine import (
+    CrackScratch,
     crack_in_three,
     crack_in_two,
+    crack_in_two_batch,
+    crack_multi,
     sort_piece,
     split_sorted_piece,
 )
@@ -39,6 +42,7 @@ __all__ = [
     "ClientQuery",
     "ConcurrentCrackScheduler",
     "CrackOrigin",
+    "CrackScratch",
     "CrackTape",
     "CrackerIndex",
     "HybridCrackSortIndex",
@@ -56,6 +60,8 @@ __all__ = [
     "TapeRecord",
     "crack_in_three",
     "crack_in_two",
+    "crack_in_two_batch",
+    "crack_multi",
     "merge_deletes",
     "merge_inserts",
     "merge_sorted_into",

@@ -9,14 +9,82 @@ permute an aligned row-id array (the cracker map of sideways cracking
 
 The kernels return the split position(s) plus a :class:`CostCharge`
 counting every element touched, which the clock prices.
+
+Hot-path design (ISSUE 3).  The kernels are *selection*-based: a
+cracked piece is an unordered bag -- only the split position is
+semantically meaningful -- so instead of the original stable
+mask/fancy-index shuffle (two boolean gathers plus two write-backs per
+crack) they count the left side and run introselect at that split.
+
+* **value-only cracks**: ``ndarray.partition`` in place -- no
+  temporaries, no write-back; ~3x faster than any gather-based stable
+  partition.  The classification mask for large pieces lives in a
+  reusable :class:`CrackScratch` buffer, so big cracks allocate
+  nothing.
+* **row-id-tracking cracks** (sideways cracking): one
+  ``argpartition`` produces a single permutation applied to the value
+  and row-id arrays together through scratch buffers -- the fused
+  cracker-map update; alignment between the two arrays is exact.
+
+Split positions, cost charges, tape records and the per-piece value
+multisets are identical to the original kernel; only the (deliberately
+unspecified) element order inside a piece differs.
+
+``crack_in_two_batch`` cracks many disjoint (piece, pivot) pairs with
+one vectorized comparison dispatch over all of them -- the physical
+half of the paper's "multiple tuning actions in one go".
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
 from repro.errors import CrackerError
 from repro.simtime.charge import CostCharge
+
+#: Pieces at/above this many rows evaluate their classification mask
+#: into a reusable scratch buffer instead of allocating a fresh one.
+CHUNK_THRESHOLD = 16_384
+
+
+class CrackScratch:
+    """Reusable partition buffers (amortized growth, never shrunk).
+
+    One scratch serves one index (all structural operations on a
+    :class:`~repro.cracking.index.CrackerIndex` run under its monitor
+    lock) or one thread (the module keeps a thread-local default for
+    callers that pass none).  Buffers are keyed by name and dtype so
+    value and row-id lanes, and the three-way kernel's extra lane, can
+    coexist.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, size: int, dtype: np.dtype) -> np.ndarray:
+        """A buffer of at least ``size`` elements of ``dtype``."""
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < size or buf.dtype != dtype:
+            capacity = max(size, 2 * (0 if buf is None else buf.size))
+            buf = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+
+_thread_local = threading.local()
+
+
+def default_scratch() -> CrackScratch:
+    """The calling thread's shared scratch (created on first use)."""
+    scratch = getattr(_thread_local, "scratch", None)
+    if scratch is None:
+        scratch = CrackScratch()
+        _thread_local.scratch = scratch
+    return scratch
 
 
 def _check_bounds(array: np.ndarray, start: int, end: int) -> None:
@@ -27,12 +95,68 @@ def _check_bounds(array: np.ndarray, start: int, end: int) -> None:
         )
 
 
+def _count_below(
+    view: np.ndarray, pivot: float, scratch: CrackScratch
+) -> int:
+    """Number of elements ``< pivot`` (scratch mask above the threshold
+    so large pieces never allocate a fresh mask)."""
+    if view.size >= CHUNK_THRESHOLD:
+        mask = scratch.get("mask", view.size, np.dtype(bool))[: view.size]
+        np.less(view, pivot, out=mask)
+        return int(np.count_nonzero(mask))
+    return int(np.count_nonzero(view < pivot))
+
+
+def _apply_permutation(
+    view: np.ndarray,
+    rview: np.ndarray | None,
+    order: np.ndarray,
+    scratch: CrackScratch,
+) -> None:
+    """Permute ``view`` (and ``rview``) by ``order`` through scratch."""
+    size = view.size
+    buf = scratch.get("permute_values", size, view.dtype)
+    np.take(view, order, out=buf[:size])
+    view[:] = buf[:size]
+    if rview is not None:
+        rbuf = scratch.get("permute_rowids", size, rview.dtype)
+        np.take(rview, order, out=rbuf[:size])
+        rview[:] = rbuf[:size]
+
+
+def _partition_two(
+    view: np.ndarray,
+    pivot: float,
+    rview: np.ndarray | None,
+    scratch: CrackScratch,
+) -> int:
+    """In-place partition of ``view`` around ``pivot``.
+
+    Returns the number of elements ``< pivot``.  Without row ids this
+    is ``ndarray.partition`` (in-place introselect); with row ids one
+    ``argpartition`` produces a single permutation that is applied to
+    the value and row-id arrays together (the fused cracker-map
+    update), keeping both exactly aligned.
+    """
+    size = view.size
+    n_left = _count_below(view, pivot, scratch)
+    if n_left == 0 or n_left == size:
+        return n_left
+    if rview is None:
+        view.partition(n_left - 1)
+    else:
+        order = np.argpartition(view, n_left - 1)
+        _apply_permutation(view, rview, order, scratch)
+    return n_left
+
+
 def crack_in_two(
     array: np.ndarray,
     start: int,
     end: int,
     pivot: float,
     rowids: np.ndarray | None = None,
+    scratch: CrackScratch | None = None,
 ) -> tuple[int, CostCharge]:
     """Partition ``array[start:end]`` so values < pivot come first.
 
@@ -49,22 +173,13 @@ def crack_in_two(
     size = end - start
     if size == 0:
         return start, CostCharge(cracks=1)
-    view = array[start:end]
-    mask = view < pivot
-    n_left = int(np.count_nonzero(mask))
-    if 0 < n_left < size:
-        left = view[mask]
-        right = view[~mask]
-        view[:n_left] = left
-        view[n_left:] = right
-        if rowids is not None:
-            rview = rowids[start:end]
-            rleft = rview[mask]
-            rright = rview[~mask]
-            rview[:n_left] = rleft
-            rview[n_left:] = rright
-    charge = CostCharge.for_crack(size)
-    return start + n_left, charge
+    n_left = _partition_two(
+        array[start:end],
+        pivot,
+        None if rowids is None else rowids[start:end],
+        scratch if scratch is not None else default_scratch(),
+    )
+    return start + n_left, CostCharge.for_crack(size)
 
 
 def crack_in_three(
@@ -74,6 +189,7 @@ def crack_in_three(
     low: float,
     high: float,
     rowids: np.ndarray | None = None,
+    scratch: CrackScratch | None = None,
 ) -> tuple[int, int, CostCharge]:
     """Partition ``array[start:end]`` into ``< low | [low, high) | >= high``.
 
@@ -92,28 +208,133 @@ def crack_in_three(
     size = end - start
     if size == 0:
         return start, start, CostCharge(cracks=2)
-    view = array[start:end]
-    mask_lo = view < low
-    mask_hi = view >= high
-    mask_mid = ~(mask_lo | mask_hi)
-    n_lo = int(np.count_nonzero(mask_lo))
-    n_mid = int(np.count_nonzero(mask_mid))
-    lo_part = view[mask_lo]
-    mid_part = view[mask_mid]
-    hi_part = view[mask_hi]
-    view[:n_lo] = lo_part
-    view[n_lo : n_lo + n_mid] = mid_part
-    view[n_lo + n_mid :] = hi_part
-    if rowids is not None:
-        rview = rowids[start:end]
-        rlo = rview[mask_lo]
-        rmid = rview[mask_mid]
-        rhi = rview[mask_hi]
-        rview[:n_lo] = rlo
-        rview[n_lo : n_lo + n_mid] = rmid
-        rview[n_lo + n_mid :] = rhi
     charge = CostCharge(elements_cracked=size, pieces_touched=1, cracks=2)
-    return start + n_lo, start + n_lo + n_mid, charge
+    if scratch is None:
+        scratch = default_scratch()
+    view = array[start:end]
+    rview = None if rowids is None else rowids[start:end]
+    # Three-way selection: count both splits, select at the low split,
+    # then at the mid/high split of the right remainder.  Splits and
+    # per-band multisets match the original three-mask kernel; element
+    # order inside each band is unspecified.
+    n_lo = _count_below(view, low, scratch)
+    n_below_high = _count_below(view, high, scratch)
+    n_mid = n_below_high - n_lo
+    if rview is None:
+        if 0 < n_lo < size:
+            view.partition(n_lo - 1)
+        right = view[n_lo:]
+        if 0 < n_mid < right.size:
+            right.partition(n_mid - 1)
+        return start + n_lo, start + n_below_high, charge
+    if 0 < n_lo < size:
+        order = np.argpartition(view, n_lo - 1)
+        _apply_permutation(view, rview, order, scratch)
+    right = view[n_lo:]
+    if 0 < n_mid < right.size:
+        order = np.argpartition(right, n_mid - 1)
+        _apply_permutation(right, rview[n_lo:], order, scratch)
+    return start + n_lo, start + n_below_high, charge
+
+
+def crack_in_two_batch(
+    array: np.ndarray,
+    tasks: list[tuple[int, int, float]],
+    rowids: np.ndarray | None = None,
+    scratch: CrackScratch | None = None,
+) -> tuple[list[int], list[CostCharge]]:
+    """Crack many disjoint pieces, each around its own pivot.
+
+    ``tasks`` is a list of ``(start, end, pivot)`` triples describing
+    pairwise-disjoint pieces of ``array``.  All pieces are classified
+    with **one** vectorized comparison dispatch (elements gathered into
+    scratch against a per-element pivot vector), then scattered back
+    piece by piece -- many small cracks pay one numpy dispatch for the
+    data-dependent part instead of one each.
+
+    Returns ``(splits, charges)`` aligned with ``tasks``: the absolute
+    position of the first element ``>= pivot`` of each piece, and the
+    per-piece :class:`CostCharge` (identical to what sequential
+    :func:`crack_in_two` calls would have produced).
+
+    Raises:
+        CrackerError: on invalid bounds, overlapping pieces, or
+            misaligned row ids.
+    """
+    if rowids is not None and len(rowids) != len(array):
+        raise CrackerError("row-id array must align with the value array")
+    if not tasks:
+        return [], []
+    previous_end = None
+    for start, end, _ in sorted(tasks, key=lambda t: (t[0], t[1])):
+        _check_bounds(array, start, end)
+        if end == start:
+            continue  # empty pieces cannot overlap anything
+        if previous_end is not None and start < previous_end:
+            raise CrackerError(
+                "crack_in_two_batch pieces overlap: "
+                f"[{start}, {end}) begins before {previous_end}"
+            )
+        previous_end = end
+    if scratch is None:
+        scratch = default_scratch()
+    splits = [0] * len(tasks)
+    charges = [
+        CostCharge(cracks=1)
+        if end == start
+        else CostCharge.for_crack(end - start)
+        for start, end, _ in tasks
+    ]
+    # Large pieces are partitioned directly (gathering them into the
+    # classification buffer would double their traffic); small pieces
+    # -- where per-call dispatch dominates -- share one vectorized
+    # comparison over a gathered pivot vector.
+    small: list[int] = []
+    for task_index, (start, end, pivot) in enumerate(tasks):
+        size = end - start
+        if size == 0:
+            splits[task_index] = start
+        elif size >= CHUNK_THRESHOLD:
+            n_left = _partition_two(
+                array[start:end],
+                pivot,
+                None if rowids is None else rowids[start:end],
+                scratch,
+            )
+            splits[task_index] = start + n_left
+        else:
+            small.append(task_index)
+    if not small:
+        return splits, charges
+    sizes = np.array(
+        [tasks[t][1] - tasks[t][0] for t in small], dtype=np.int64
+    )
+    total = int(sizes.sum())
+    gathered = scratch.get("batch_values", total, array.dtype)
+    offsets = np.zeros(len(small) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    for slot, task_index in enumerate(small):
+        start, end, _ = tasks[task_index]
+        gathered[offsets[slot] : offsets[slot + 1]] = array[start:end]
+    pivot_vector = np.repeat(
+        np.array([tasks[t][2] for t in small], dtype=np.float64), sizes
+    )
+    mask_all = gathered[:total] < pivot_vector
+    for slot, task_index in enumerate(small):
+        start, end, pivot = tasks[task_index]
+        size = end - start
+        mask = mask_all[offsets[slot] : offsets[slot + 1]]
+        n_left = int(np.count_nonzero(mask))
+        splits[task_index] = start + n_left
+        if n_left == 0 or n_left == size:
+            continue
+        view = array[start:end]
+        if rowids is None:
+            view.partition(n_left - 1)
+        else:
+            order = np.argpartition(view, n_left - 1)
+            _apply_permutation(view, rowids[start:end], order, scratch)
+    return splits, charges
 
 
 def crack_multi(
@@ -122,6 +343,7 @@ def crack_multi(
     end: int,
     pivots: list[float],
     rowids: np.ndarray | None = None,
+    scratch: CrackScratch | None = None,
 ) -> tuple[list[int], CostCharge]:
     """Partition ``array[start:end]`` around many pivots in one go.
 
@@ -155,14 +377,39 @@ def crack_multi(
     )
     if size == 0:
         return [start] * len(pivots), charge
+    if scratch is None:
+        scratch = default_scratch()
     view = array[start:end]
+    if rowids is None:
+        # Unstable multi-way selection: recursively introselect at the
+        # median pivot -- O(n log k) in place, no permutation arrays.
+        splits = [0] * len(pivots)
+        stack = [(0, size, 0, len(pivots))]
+        while stack:
+            lo, hi, first, last = stack.pop()
+            if first >= last:
+                continue
+            mid = (first + last) // 2
+            pivot = pivots[mid]
+            segment = view[lo:hi]
+            n_left = _count_below(segment, pivot, scratch)
+            if 0 < n_left < segment.size:
+                segment.partition(n_left - 1)
+            cut = lo + n_left
+            splits[mid] = start + cut
+            stack.append((lo, cut, first, mid))
+            stack.append((cut, hi, mid + 1, last))
+        return splits, charge
     keys = np.asarray(pivots, dtype=np.float64)
     bins = np.searchsorted(keys, view, side="right")
     order = np.argsort(bins, kind="stable")
-    view[:] = view[order]
-    if rowids is not None:
-        rview = rowids[start:end]
-        rview[:] = rview[order]
+    permuted = scratch.get("multi_values", size, view.dtype)
+    np.take(view, order, out=permuted[:size])
+    view[:] = permuted[:size]
+    rview = rowids[start:end]
+    rpermuted = scratch.get("multi_rowids", size, rview.dtype)
+    np.take(rview, order, out=rpermuted[:size])
+    rview[:] = rpermuted[:size]
     counts = np.bincount(bins, minlength=len(pivots) + 1)
     boundaries = start + np.cumsum(counts[:-1])
     return [int(b) for b in boundaries], charge

@@ -14,6 +14,17 @@ each refinement is priced through the shared clock and logged on the
 Auxiliary refinements -- the extra, non-query-driven cracks holistic
 indexing injects during idle time -- use the same machinery with
 ``CrackOrigin.TUNING``.
+
+Hot-path design (ISSUE 3): each index owns a :class:`CrackScratch` the
+kernels partition through (all structural operations run under the
+index's monitor lock, so one scratch per index suffices); piece
+navigation is a single fused :meth:`PieceMap.locate` per crack; and the
+cracker column is stored in the narrowest lossless dtype -- an ``int64``
+column whose values fit ``int32`` is cracked as ``int32`` (and row ids
+as ``int32`` up to 2^31 rows), halving kernel memory traffic.  Splits,
+charges, tape contents and reconstructed values are identical either
+way; update merging widens the column back if out-of-range values ever
+arrive (see :meth:`ensure_values_fit`).
 """
 
 from __future__ import annotations
@@ -25,8 +36,10 @@ import threading
 import numpy as np
 
 from repro.cracking.engine import (
+    CrackScratch,
     crack_in_three,
     crack_in_two,
+    crack_in_two_batch,
     crack_multi,
     sort_piece,
     split_sorted_piece,
@@ -39,6 +52,9 @@ from repro.simtime.charge import CostCharge
 from repro.simtime.clock import Clock, SimClock
 from repro.storage.column import Column
 from repro.storage.views import RangeView
+
+_INT32_MIN = -(2**31)
+_INT32_MAX = 2**31 - 1
 
 
 def _synchronized(method):
@@ -65,6 +81,9 @@ class CrackerIndex:
         copy_on_first_touch: when True (default, MonetDB behaviour) the
             cost of copying the base column is charged to the first
             refinement instead of index creation.
+        narrow_values: store the cracker column in the narrowest
+            lossless integer dtype (default True; disable to force the
+            base column's dtype).
     """
 
     def __init__(
@@ -74,6 +93,7 @@ class CrackerIndex:
         track_rowids: bool = False,
         tape: CrackTape | None = None,
         copy_on_first_touch: bool = True,
+        narrow_values: bool = True,
     ) -> None:
         self.column = column
         self.clock: Clock = clock if clock is not None else SimClock()
@@ -84,19 +104,38 @@ class CrackerIndex:
         #: Piece-level concurrency semantics live one layer up, in
         #: :class:`repro.cracking.concurrency.PieceLatchTable`.
         self.lock = threading.RLock()
-        self._array = column.copy_values()
+        self._array = self._materialize_values(column, narrow_values)
+        rows = column.row_count
         self._rowids = (
-            np.arange(column.row_count, dtype=np.int64)
+            np.arange(
+                rows,
+                dtype=np.int32 if rows <= _INT32_MAX else np.int64,
+            )
             if track_rowids
             else None
         )
-        self._pieces = PieceMap(column.row_count)
+        self._pieces = PieceMap(rows)
+        self._scratch = CrackScratch()
         self.tape = tape if tape is not None else CrackTape()
         self._copy_charged = not copy_on_first_touch
-        if not copy_on_first_touch and column.row_count:
-            self.clock.charge(
-                CostCharge(elements_materialized=column.row_count)
-            )
+        if not copy_on_first_touch and rows:
+            self.clock.charge(CostCharge(elements_materialized=rows))
+
+    @staticmethod
+    def _materialize_values(
+        column: Column, narrow_values: bool
+    ) -> np.ndarray:
+        """Copy the column, narrowed to int32 when lossless."""
+        values = column.values
+        if (
+            narrow_values
+            and values.dtype == np.int64
+            and len(values)
+            and _INT32_MIN <= column.stats.min_value
+            and column.stats.max_value <= _INT32_MAX
+        ):
+            return values.astype(np.int32)
+        return column.copy_values()
 
     # -- inspection ----------------------------------------------------
 
@@ -164,6 +203,47 @@ class CrackerIndex:
                 CostCharge(elements_materialized=self.row_count)
             )
 
+    def _cut_located(
+        self,
+        value: float,
+        index: int,
+        start: int,
+        end: int,
+        is_sorted: bool,
+        at_pivot: bool,
+        origin: CrackOrigin,
+    ) -> int:
+        """Crack at an already-located ``value``; caller holds the lock.
+
+        ``index``/``start``/``end``/``is_sorted``/``at_pivot`` come
+        from :meth:`PieceMap.locate` with no intervening mutation.
+        """
+        if at_pivot:
+            self.clock.charge(
+                CostCharge.for_binary_search(self.piece_count)
+            )
+            return start
+        self._charge_copy_if_needed()
+        if is_sorted:
+            position, charge = split_sorted_piece(
+                self._array, start, end, value
+            )
+        else:
+            position, charge = crack_in_two(
+                self._array,
+                start,
+                end,
+                value,
+                self._rowids,
+                self._scratch,
+            )
+        self._pieces.add_crack_at(index, value, position)
+        self.clock.charge(charge)
+        self.tape.log(
+            self.clock.now(), origin, value, position, end - start
+        )
+        return position
+
     @_synchronized
     def ensure_cut(
         self, value: float, origin: CrackOrigin = CrackOrigin.QUERY
@@ -174,28 +254,10 @@ class CrackerIndex:
         cracker column.  Existing pivots are located with a piece-map
         lookup only.
         """
-        if self._pieces.has_pivot(value):
-            self.clock.charge(
-                CostCharge.for_binary_search(self.piece_count)
-            )
-            return self._pieces.position_of_pivot(value)
-        self._charge_copy_if_needed()
-        index = self._pieces.piece_index_for_value(value)
-        piece = self._pieces.piece_at_index(index)
-        if piece.is_sorted:
-            position, charge = split_sorted_piece(
-                self._array, piece.start, piece.end, value
-            )
-        else:
-            position, charge = crack_in_two(
-                self._array, piece.start, piece.end, value, self._rowids
-            )
-        self._pieces.add_crack(value, position)
-        self.clock.charge(charge)
-        self.tape.record(
-            self.clock.now(), origin, value, position, piece.size
+        index, start, end, is_sorted, at_pivot = self._pieces.locate(value)
+        return self._cut_located(
+            value, index, start, end, is_sorted, at_pivot, origin
         )
-        return position
 
     @_synchronized
     def ensure_cuts(
@@ -205,34 +267,84 @@ class CrackerIndex:
     ) -> list[int]:
         """Crack at many values in one go (paper §3's batch question).
 
-        New pivots are grouped by containing piece; pieces receiving
-        two or more get a single counting-partition pass
-        (:func:`crack_multi`) instead of sequential shrinking cracks.
-        Returns the cut position of every requested value, in input
-        order.
+        New pivots are grouped by containing piece; unsorted pieces
+        receiving two or more get a single counting-partition pass
+        (:func:`crack_multi`), unsorted pieces receiving exactly one
+        are partitioned together by :func:`crack_in_two_batch` (one
+        vectorized classification dispatch for all of them), and
+        sorted pieces take all their cuts via one vectorized
+        ``np.searchsorted`` call.  Charges and tape records are
+        identical to sequential :meth:`ensure_cut` calls.  Returns the
+        cut position of every requested value, in input order.
         """
+        pieces = self._pieces
         positions: dict[float, int] = {}
         fresh: list[float] = []
+        fresh_piece: dict[float, int] = {}
         for value in values:
-            if self._pieces.has_pivot(value):
-                positions[value] = self._pieces.position_of_pivot(value)
-            elif value not in positions:
+            if value in positions:
+                continue
+            index, start, _, _, at_pivot = pieces.locate(value)
+            if at_pivot:
+                positions[value] = start
+            else:
                 positions[value] = -1
                 fresh.append(value)
+                fresh_piece[value] = index
         if fresh:
             self._charge_copy_if_needed()
             fresh.sort()
             by_piece: dict[int, list[float]] = {}
             for value in fresh:
-                index = self._pieces.piece_index_for_value(value)
-                by_piece.setdefault(index, []).append(value)
-            # Process right-to-left so earlier piece indexes stay valid.
-            for piece_index in sorted(by_piece, reverse=True):
+                by_piece.setdefault(fresh_piece[value], []).append(value)
+            # Physically partition every single-pivot unsorted piece in
+            # one batched kernel call.  The pieces are pairwise
+            # disjoint, so this commutes with the sweep below, which
+            # performs all accounting (and the remaining physical work)
+            # in the original right-to-left piece order -- keeping
+            # charges, timestamps and tape records byte-identical to
+            # sequential processing.
+            sweep = sorted(by_piece, reverse=True)
+            batch_members: list[int] = []
+            batch_tasks: list[tuple[int, int, float]] = []
+            for piece_index in sweep:
                 group = by_piece[piece_index]
-                piece = self._pieces.piece_at_index(piece_index)
-                if len(group) == 1 or piece.is_sorted:
-                    for value in group:
-                        positions[value] = self.ensure_cut(value, origin)
+                if len(group) == 1 and not pieces.is_piece_sorted(
+                    piece_index
+                ):
+                    piece = pieces.piece_at_index(piece_index)
+                    batch_members.append(piece_index)
+                    batch_tasks.append((piece.start, piece.end, group[0]))
+            batch_splits: dict[int, tuple[int, CostCharge]] = {}
+            if batch_tasks:
+                splits, charges = crack_in_two_batch(
+                    self._array,
+                    batch_tasks,
+                    self._rowids,
+                    self._scratch,
+                )
+                for piece_index, split, charge in zip(
+                    batch_members, splits, charges
+                ):
+                    batch_splits[piece_index] = (split, charge)
+            for piece_index in sweep:
+                group = by_piece[piece_index]
+                if piece_index in batch_splits:
+                    value = group[0]
+                    split, charge = batch_splits[piece_index]
+                    piece = pieces.piece_at_index(piece_index)
+                    pieces.add_crack(value, split)
+                    self.clock.charge(charge)
+                    self.tape.log(
+                        self.clock.now(), origin, value, split, piece.size
+                    )
+                    positions[value] = split
+                    continue
+                piece = pieces.piece_at_index(piece_index)
+                if piece.is_sorted:
+                    self._cuts_in_sorted_piece(
+                        piece, group, positions, origin
+                    )
                     continue
                 splits, charge = crack_multi(
                     self._array,
@@ -240,14 +352,53 @@ class CrackerIndex:
                     piece.end,
                     group,
                     self._rowids,
+                    self._scratch,
                 )
                 self.clock.charge(charge)
                 now = self.clock.now()
                 for value, split in zip(group, splits):
-                    self._pieces.add_crack(value, split)
+                    pieces.add_crack(value, split)
                     positions[value] = split
-                    self.tape.record(now, origin, value, split, piece.size)
+                    self.tape.log(now, origin, value, split, piece.size)
         return [positions[value] for value in values]
+
+    def _cuts_in_sorted_piece(
+        self,
+        piece: Piece,
+        group: list[float],
+        positions: dict[float, int],
+        origin: CrackOrigin,
+    ) -> None:
+        """All cuts of one sorted piece via a single vectorized search.
+
+        A sorted piece needs no data movement: every pivot's position
+        comes from one ``np.searchsorted`` over the piece.  Charges and
+        tape records replicate sequential :meth:`ensure_cut` calls
+        exactly -- each successive cut binary-searches the shrinking
+        remainder ``[previous_cut, end)``, so the i-th charge prices a
+        search over that remainder, not the whole piece.
+        """
+        offsets = np.searchsorted(
+            self._array[piece.start : piece.end],
+            np.asarray(group, dtype=np.float64),
+            side="left",
+        )
+        previous = piece.start
+        for value, offset in zip(group, offsets):
+            position = piece.start + int(offset)
+            self._pieces.add_crack(value, position)
+            self.clock.charge(
+                CostCharge.for_binary_search(max(1, piece.end - previous))
+            )
+            self.tape.log(
+                self.clock.now(),
+                origin,
+                value,
+                position,
+                piece.end - previous,
+            )
+            positions[value] = position
+            previous = position
 
     @_synchronized
     def select_range(
@@ -267,34 +418,60 @@ class CrackerIndex:
         """
         if low > high:
             raise QueryError(f"range inverted: low={low} > high={high}")
-        low_index = self._pieces.piece_index_for_value(low)
-        high_index = self._pieces.piece_index_for_value(high)
-        same_piece = low_index == high_index
-        bounds_new = not (
-            self._pieces.has_pivot(low) or self._pieces.has_pivot(high)
-        )
-        piece = self._pieces.piece_at_index(low_index)
+        pieces = self._pieces
+        low_loc = pieces.locate(low)
+        high_loc = pieces.locate(high)
+        low_index, start, end, low_sorted, low_pivot = low_loc
         if (
-            same_piece
-            and bounds_new
-            and not piece.is_sorted
+            low_index == high_loc[0]
+            and not low_pivot
+            and not high_loc[4]
+            and not low_sorted
             and low < high
-            and piece.size > 0
+            and end > start
         ):
             self._charge_copy_if_needed()
             pos_low, pos_high, charge = crack_in_three(
-                self._array, piece.start, piece.end, low, high, self._rowids
+                self._array,
+                start,
+                end,
+                low,
+                high,
+                self._rowids,
+                self._scratch,
             )
-            self._pieces.add_crack(low, pos_low)
-            self._pieces.add_crack(high, pos_high)
+            pieces.add_crack_at(low_index, low, pos_low)
+            pieces.add_crack_at(low_index + 1, high, pos_high)
             self.clock.charge(charge)
             now = self.clock.now()
-            self.tape.record(now, origin, low, pos_low, piece.size)
-            self.tape.record(now, origin, high, pos_high, piece.size)
+            size = end - start
+            self.tape.log(now, origin, low, pos_low, size)
+            self.tape.log(now, origin, high, pos_high, size)
         else:
-            pos_low = self.ensure_cut(low, origin)
-            pos_high = self.ensure_cut(high, origin)
+            pos_low = self._cut_located(low, *low_loc, origin)
+            pos_high = self._cut_located(
+                high, *pieces.locate(high), origin
+            )
         return RangeView(self._array, pos_low, pos_high, self._rowids)
+
+    # -- update support --------------------------------------------------
+
+    @_synchronized
+    def ensure_values_fit(self, values: np.ndarray) -> None:
+        """Widen a narrowed cracker column if ``values`` overflow it.
+
+        Update merging calls this before casting incoming values to the
+        cracker dtype: a narrowed (int32) column is transparently
+        widened back to the base column's int64 when out-of-range
+        values arrive, so narrowing never corrupts merges.
+        """
+        if self._array.dtype != np.int32 or len(values) == 0:
+            return
+        values = np.asarray(values)
+        low = values.min()
+        high = values.max()
+        if low < _INT32_MIN or high > _INT32_MAX:
+            self._array = self._array.astype(np.int64)
 
     # -- auxiliary refinement actions (holistic tuning) ------------------
 
@@ -318,12 +495,15 @@ class CrackerIndex:
         if stats.value_span <= 0:
             return None
         value = float(rng.uniform(stats.min_value, stats.max_value))
-        if self._pieces.has_pivot(value):
+        location = self._pieces.locate(value)
+        index, start, end, is_sorted, at_pivot = location
+        if at_pivot:
             return None
-        piece = self._pieces.piece_for_value(value)
-        if piece.size <= min_piece_size:
+        if end - start <= min_piece_size:
             return None
-        return self.ensure_cut(value, origin)
+        return self._cut_located(
+            value, index, start, end, is_sorted, at_pivot, origin
+        )
 
     @_synchronized
     def crack_largest_piece(
@@ -363,7 +543,7 @@ class CrackerIndex:
             )
             self.clock.charge(charge)
             self._pieces.mark_sorted(piece_index)
-            self.tape.record(
+            self.tape.log(
                 self.clock.now(),
                 CrackOrigin.SORT,
                 piece.low,

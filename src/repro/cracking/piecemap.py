@@ -3,8 +3,21 @@
 MonetDB's cracker index keeps an AVL tree mapping pivot values to the
 position of the first element ``>= pivot``.  Because the cracked column
 is range-partitioned, pivot order and position order coincide, so two
-parallel sorted lists with binary search give the same O(log k)
-navigation with much better Python constants.
+parallel sorted arrays with binary search give the same O(log k)
+navigation with much better constants.
+
+Representation (ISSUE 3): the pivot/cut/sorted-flag columns are
+amortized-growth **numpy buffers** navigated by ``np.searchsorted``.
+Bulk operations (``piece_sizes``, ``shift_from``, ``apply_deltas``,
+``check_invariants``, the unsorted-piece selectors) are vectorized,
+and the maximum piece size is maintained incrementally: a split never
+grows a piece, so the cached maximum only needs a vectorized rescan
+when the last maximum-sized piece is itself split (dirty flag).
+``max_piece_size`` is O(1) on the clean path instead of O(k) per call.
+
+The single-value navigation path used by every crack is fused into
+:meth:`locate`: one binary search yields the piece index, bounds,
+sorted flag and whether the value is already a pivot.
 
 Invariants (checked by :meth:`PieceMap.check_invariants` and the
 property tests):
@@ -13,29 +26,66 @@ property tests):
 * ``cuts`` is non-decreasing, each within ``[0, n]``;
 * piece ``i`` spans positions ``[cuts[i-1], cuts[i])`` (sentinels 0 and
   ``n``) and values ``[pivots[i-1], pivots[i])`` (sentinels -inf/+inf);
-* ``sorted_flags`` has exactly ``len(pivots) + 1`` entries.
+* the sorted-flag column has exactly ``len(pivots) + 1`` entries.
+
+Pivots are stored as ``float64``; integer pivots beyond 2^53 would
+lose precision (query predicates are floats throughout this library).
 """
 
 from __future__ import annotations
 
+import ctypes
 import math
-from bisect import bisect_left, bisect_right
 from typing import Iterator
+
+import numpy as np
 
 from repro.errors import CrackerError
 from repro.cracking.piece import Piece
+
+_INITIAL_CAPACITY = 16
 
 
 class PieceMap:
     """Crack boundaries of a column of ``n`` rows."""
 
+    __slots__ = (
+        "_n",
+        "_k",
+        "_pivots",
+        "_cuts",
+        "_sorted",
+        "_pivots_addr",
+        "_cuts_addr",
+        "_sorted_addr",
+        "_max_size",
+        "_max_count",
+        "_max_dirty",
+    )
+
     def __init__(self, n: int, sorted_initially: bool = False) -> None:
         if n < 0:
             raise CrackerError(f"row count must be >= 0, got {n}")
         self._n = n
-        self._pivots: list[float] = []
-        self._cuts: list[int] = []
-        self._sorted_flags: list[bool] = [sorted_initially]
+        self._k = 0  # number of cracks (pivots/cuts in use)
+        self._pivots = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._cuts = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._sorted = np.zeros(_INITIAL_CAPACITY + 1, dtype=bool)
+        self._sorted[0] = sorted_initially
+        self._cache_addresses()
+        self._max_size = n
+        self._max_count = 1
+        self._max_dirty = False
+
+    def _cache_addresses(self) -> None:
+        """Cache buffer base addresses for the memmove insert path.
+
+        Recomputed whenever a buffer is reallocated: building the
+        ``.ctypes`` interface per insert costs more than the insert.
+        """
+        self._pivots_addr = self._pivots.ctypes.data
+        self._cuts_addr = self._cuts.ctypes.data
+        self._sorted_addr = self._sorted.ctypes.data
 
     # -- inspection ----------------------------------------------------
 
@@ -45,19 +95,27 @@ class PieceMap:
 
     @property
     def piece_count(self) -> int:
-        return len(self._pivots) + 1
+        return self._k + 1
 
     @property
     def crack_count(self) -> int:
-        return len(self._pivots)
+        return self._k
 
     def pivots(self) -> list[float]:
         """The pivot values, in increasing order (copy)."""
-        return list(self._pivots)
+        return self._pivots[: self._k].tolist()
 
     def cuts(self) -> list[int]:
         """The cut positions aligned with :meth:`pivots` (copy)."""
-        return list(self._cuts)
+        return self._cuts[: self._k].tolist()
+
+    def cut_position(self, crack_index: int) -> int:
+        """The position of the ``crack_index``-th cut (0-based)."""
+        if crack_index < 0 or crack_index >= self._k:
+            raise CrackerError(
+                f"crack index {crack_index} out of range [0, {self._k})"
+            )
+        return int(self._cuts[crack_index])
 
     def piece_at_index(self, index: int) -> Piece:
         """The ``index``-th piece, in position/value order.
@@ -65,22 +123,43 @@ class PieceMap:
         Raises:
             CrackerError: if ``index`` is out of range.
         """
-        if index < 0 or index >= self.piece_count:
+        k = self._k
+        if index < 0 or index > k:
             raise CrackerError(
                 f"piece index {index} out of range "
                 f"[0, {self.piece_count})"
             )
-        start = self._cuts[index - 1] if index > 0 else 0
-        end = self._cuts[index] if index < len(self._cuts) else self._n
-        low = self._pivots[index - 1] if index > 0 else -math.inf
-        high = (
-            self._pivots[index] if index < len(self._pivots) else math.inf
-        )
-        return Piece(start, end, low, high, self._sorted_flags[index])
+        start = int(self._cuts[index - 1]) if index > 0 else 0
+        end = int(self._cuts[index]) if index < k else self._n
+        low = float(self._pivots[index - 1]) if index > 0 else -math.inf
+        high = float(self._pivots[index]) if index < k else math.inf
+        return Piece(start, end, low, high, bool(self._sorted[index]))
+
+    def locate(
+        self, value: float
+    ) -> tuple[int, int, int, bool, bool]:
+        """One-binary-search lookup of the piece containing ``value``.
+
+        Returns ``(piece_index, start, end, is_sorted, at_pivot)`` --
+        everything a crack needs, without constructing a
+        :class:`Piece` or re-searching for the pivot.  ``at_pivot`` is
+        True when ``value`` is already a crack boundary; the piece
+        returned is then the one *at or right of* the pivot, whose
+        ``start`` is exactly the pivot's cut position.
+        """
+        k = self._k
+        pivots = self._pivots
+        i = int(pivots[:k].searchsorted(value, side="right"))
+        at_pivot = i > 0 and pivots[i - 1] == value
+        start = int(self._cuts[i - 1]) if i > 0 else 0
+        end = int(self._cuts[i]) if i < k else self._n
+        return i, start, end, bool(self._sorted[i]), at_pivot
 
     def piece_index_for_value(self, value: float) -> int:
         """Index of the piece whose value interval contains ``value``."""
-        return bisect_right(self._pivots, value)
+        return int(
+            self._pivots[: self._k].searchsorted(value, side="right")
+        )
 
     def piece_for_value(self, value: float) -> Piece:
         """The piece whose value interval contains ``value``."""
@@ -88,8 +167,8 @@ class PieceMap:
 
     def has_pivot(self, value: float) -> bool:
         """Whether ``value`` is already a crack boundary."""
-        i = bisect_left(self._pivots, value)
-        return i < len(self._pivots) and self._pivots[i] == value
+        i = int(self._pivots[: self._k].searchsorted(value, side="right"))
+        return i > 0 and self._pivots[i - 1] == value
 
     def position_of_pivot(self, value: float) -> int:
         """Cut position of an existing pivot.
@@ -97,39 +176,146 @@ class PieceMap:
         Raises:
             CrackerError: if ``value`` is not a pivot.
         """
-        i = bisect_left(self._pivots, value)
-        if i >= len(self._pivots) or self._pivots[i] != value:
+        i = int(self._pivots[: self._k].searchsorted(value, side="right"))
+        if i == 0 or self._pivots[i - 1] != value:
             raise CrackerError(f"{value!r} is not a crack boundary")
-        return self._cuts[i]
+        return int(self._cuts[i - 1])
 
     def pieces(self) -> Iterator[Piece]:
         """All pieces in order."""
         for i in range(self.piece_count):
             yield self.piece_at_index(i)
 
+    def _sizes_array(self) -> np.ndarray:
+        """Piece sizes as an int64 array (vectorized, O(k))."""
+        return np.diff(
+            self._cuts[: self._k], prepend=0, append=self._n
+        )
+
     def piece_sizes(self) -> list[int]:
         """Sizes of all pieces, in order."""
-        bounds = [0, *self._cuts, self._n]
-        return [bounds[i + 1] - bounds[i] for i in range(len(bounds) - 1)]
+        return self._sizes_array().tolist()
+
+    def _recompute_max(self) -> None:
+        sizes = self._sizes_array()
+        self._max_size = int(sizes.max())
+        self._max_count = int(np.count_nonzero(sizes == self._max_size))
+        self._max_dirty = False
 
     def max_piece_size(self) -> int:
-        sizes = self.piece_sizes()
-        return max(sizes) if sizes else 0
+        """The largest piece's row count (O(1) amortized)."""
+        if self._max_dirty:
+            self._recompute_max()
+        return self._max_size
+
+    def _max_track_resize(self, old_size: int, new_size: int) -> None:
+        """Maintain the cached maximum across one piece's size change."""
+        if self._max_dirty:
+            return
+        if old_size == self._max_size:
+            self._max_count -= 1
+        if new_size > self._max_size:
+            self._max_size = new_size
+            self._max_count = 1
+        elif new_size == self._max_size:
+            self._max_count += 1
+        if self._max_count <= 0:
+            self._max_dirty = True
 
     def average_piece_size(self) -> float:
         return self._n / self.piece_count if self.piece_count else 0.0
 
     def largest_unsorted_piece(self) -> Piece | None:
-        """The biggest piece that is not yet sorted, or ``None``."""
-        best: Piece | None = None
-        for piece in self.pieces():
-            if piece.is_sorted:
-                continue
-            if best is None or piece.size > best.size:
-                best = piece
-        return best
+        """The first biggest piece that is not yet sorted, or ``None``."""
+        sizes = self._sizes_array()
+        masked = np.where(self._sorted[: self._k + 1], -1, sizes)
+        index = int(np.argmax(masked))
+        if masked[index] < 0:
+            return None
+        return self.piece_at_index(index)
+
+    def smallest_unsorted_index(self, min_size: int = 2) -> int | None:
+        """Index of the first smallest unsorted piece of >= ``min_size``
+        rows, or ``None`` when every such piece is sorted."""
+        sizes = self._sizes_array()
+        sentinel = self._n + 1
+        masked = np.where(
+            self._sorted[: self._k + 1] | (sizes < min_size),
+            sentinel,
+            sizes,
+        )
+        index = int(np.argmin(masked))
+        if masked[index] == sentinel:
+            return None
+        return index
 
     # -- mutation ------------------------------------------------------
+
+    def _grow(self) -> None:
+        capacity = 2 * self._pivots.size
+        pivots = np.empty(capacity, dtype=np.float64)
+        cuts = np.empty(capacity, dtype=np.int64)
+        flags = np.zeros(capacity + 1, dtype=bool)
+        k = self._k
+        pivots[:k] = self._pivots[:k]
+        cuts[:k] = self._cuts[:k]
+        flags[: k + 1] = self._sorted[: k + 1]
+        self._pivots = pivots
+        self._cuts = cuts
+        self._sorted = flags
+        self._cache_addresses()
+
+    def _insert_crack(
+        self,
+        i: int,
+        pivot: float,
+        position: int,
+        left_bound: int,
+        right_bound: int,
+    ) -> None:
+        """Insert a validated crack at slot ``i`` (buffer shifts)."""
+        k = self._k
+        if k == self._pivots.size:
+            self._grow()
+        if i < k:
+            # ctypes.memmove (cached base addresses) instead of an
+            # overlapping slice assignment: numpy detects the overlap
+            # and materializes a temporary copy of the tail on every
+            # insert, which dominated the crack profile.
+            tail8 = (k - i) * 8
+            offset8 = i * 8
+            ctypes.memmove(
+                self._pivots_addr + offset8 + 8,
+                self._pivots_addr + offset8,
+                tail8,
+            )
+            ctypes.memmove(
+                self._cuts_addr + offset8 + 8,
+                self._cuts_addr + offset8,
+                tail8,
+            )
+        ctypes.memmove(
+            self._sorted_addr + i + 1,
+            self._sorted_addr + i,
+            k + 1 - i,
+        )
+        self._pivots[i] = pivot
+        self._cuts[i] = position
+        self._k = k + 1
+        self._max_track_split(
+            right_bound - left_bound, position - left_bound
+        )
+
+    def _max_track_split(self, size: int, left_size: int) -> None:
+        """Maintain the cached maximum across one piece split."""
+        if self._max_dirty or size < self._max_size:
+            return
+        # size == max (a split can never grow a piece).
+        if left_size == size or left_size == 0:
+            return  # degenerate split keeps a max-sized piece
+        self._max_count -= 1
+        if self._max_count == 0:
+            self._max_dirty = True
 
     def add_crack(self, pivot: float, position: int) -> None:
         """Record that the column was cracked at ``pivot``/``position``.
@@ -142,19 +328,38 @@ class PieceMap:
             CrackerError: if the pivot already exists or the position
                 violates the piece-ordering invariants.
         """
-        i = bisect_left(self._pivots, pivot)
-        if i < len(self._pivots) and self._pivots[i] == pivot:
+        k = self._k
+        i = int(np.searchsorted(self._pivots[:k], pivot, side="left"))
+        if i < k and self._pivots[i] == pivot:
             raise CrackerError(f"pivot {pivot!r} already recorded")
-        left_bound = self._cuts[i - 1] if i > 0 else 0
-        right_bound = self._cuts[i] if i < len(self._cuts) else self._n
+        self.add_crack_at(i, pivot, position)
+
+    def add_crack_at(self, i: int, pivot: float, position: int) -> None:
+        """Record a crack whose insertion slot ``i`` is already known.
+
+        The fast path for callers that just called :meth:`locate` (the
+        piece index of a non-pivot value *is* its insertion slot),
+        skipping the second binary search of :meth:`add_crack`.
+
+        Raises:
+            CrackerError: if the pivot or position violates the
+                piece-ordering invariants.
+        """
+        k = self._k
+        if (i > 0 and self._pivots[i - 1] >= pivot) or (
+            i < k and pivot >= self._pivots[i]
+        ):
+            raise CrackerError(
+                f"pivot {pivot!r} out of order for insertion slot {i}"
+            )
+        left_bound = int(self._cuts[i - 1]) if i > 0 else 0
+        right_bound = int(self._cuts[i]) if i < k else self._n
         if not left_bound <= position <= right_bound:
             raise CrackerError(
                 f"cut position {position} for pivot {pivot!r} outside "
                 f"containing piece [{left_bound}, {right_bound}]"
             )
-        self._pivots.insert(i, pivot)
-        self._cuts.insert(i, position)
-        self._sorted_flags.insert(i, self._sorted_flags[i])
+        self._insert_crack(i, pivot, position, left_bound, right_bound)
 
     def mark_sorted(self, piece_index: int) -> None:
         """Flag a piece as fully sorted.
@@ -167,7 +372,7 @@ class PieceMap:
                 f"piece index {piece_index} out of range "
                 f"[0, {self.piece_count})"
             )
-        self._sorted_flags[piece_index] = True
+        self._sorted[piece_index] = True
 
     def mark_unsorted(self, piece_index: int) -> None:
         """Clear a piece's sorted flag (after in-piece insertions).
@@ -180,7 +385,7 @@ class PieceMap:
                 f"piece index {piece_index} out of range "
                 f"[0, {self.piece_count})"
             )
-        self._sorted_flags[piece_index] = False
+        self._sorted[piece_index] = False
 
     def is_piece_sorted(self, piece_index: int) -> bool:
         if piece_index < 0 or piece_index >= self.piece_count:
@@ -188,13 +393,16 @@ class PieceMap:
                 f"piece index {piece_index} out of range "
                 f"[0, {self.piece_count})"
             )
-        return self._sorted_flags[piece_index]
+        return bool(self._sorted[piece_index])
 
     def shift_from(self, position: int, delta: int) -> None:
         """Shift all cuts at or beyond ``position`` by ``delta`` rows.
 
         Used by update merging: inserting rows into a piece moves every
-        later piece.  ``row_count`` grows by ``delta``.
+        later piece.  ``row_count`` grows by ``delta``.  The first
+        affected cut is found by binary search; cuts left of
+        ``position`` are never touched (a ``position`` past all cuts
+        only grows the last piece).
 
         Raises:
             CrackerError: if ``delta`` would make the map inconsistent.
@@ -203,14 +411,24 @@ class PieceMap:
             raise CrackerError(
                 f"shift by {delta} would make row count negative"
             )
-        for i, cut in enumerate(self._cuts):
-            if cut >= position:
-                shifted = cut + delta
-                if shifted < 0:
-                    raise CrackerError(
-                        f"shift by {delta} drives cut {cut} negative"
-                    )
-                self._cuts[i] = shifted
+        k = self._k
+        i = int(np.searchsorted(self._cuts[:k], position, side="left"))
+        if i < k:
+            first = int(self._cuts[i])
+            if first + delta < 0:
+                raise CrackerError(
+                    f"shift by {delta} drives cut {first} negative"
+                )
+        if delta != 0:
+            # Piece i is the one whose end moves; later pieces shift
+            # wholesale and keep their sizes.
+            old_end = int(self._cuts[i]) if i < k else self._n
+            start = int(self._cuts[i - 1]) if i > 0 else 0
+            self._max_track_resize(
+                old_end - start, old_end + delta - start
+            )
+            if i < k:
+                self._cuts[i:k] += delta
         self._n += delta
 
     def apply_deltas(self, deltas: list[int]) -> None:
@@ -228,18 +446,21 @@ class PieceMap:
             raise CrackerError(
                 f"{len(deltas)} deltas for {self.piece_count} pieces"
             )
-        sizes = self.piece_sizes()
-        for size, delta in zip(sizes, deltas):
-            if size + delta < 0:
-                raise CrackerError(
-                    f"delta {delta} would shrink a {size}-row piece "
-                    "below zero"
-                )
-        shift = 0
-        for i in range(len(self._cuts)):
-            shift += deltas[i]
-            self._cuts[i] += shift
-        self._n += shift + deltas[-1]
+        delta_arr = np.asarray(deltas, dtype=np.int64)
+        sizes = self._sizes_array()
+        shrunk = sizes + delta_arr < 0
+        if np.any(shrunk):
+            index = int(np.argmax(shrunk))
+            raise CrackerError(
+                f"delta {deltas[index]} would shrink a "
+                f"{int(sizes[index])}-row piece below zero"
+            )
+        shifts = np.cumsum(delta_arr)
+        k = self._k
+        if k:
+            self._cuts[:k] += shifts[:k]
+        self._n += int(shifts[-1])
+        self._max_dirty = True
 
     # -- validation ----------------------------------------------------
 
@@ -249,23 +470,23 @@ class PieceMap:
         Raises:
             CrackerError: on any violation.
         """
-        if any(
-            self._pivots[i] >= self._pivots[i + 1]
-            for i in range(len(self._pivots) - 1)
-        ):
+        k = self._k
+        pivots = self._pivots[:k]
+        cuts = self._cuts[:k]
+        if np.any(pivots[:-1] >= pivots[1:]):
             raise CrackerError("pivots not strictly increasing")
-        if any(
-            self._cuts[i] > self._cuts[i + 1]
-            for i in range(len(self._cuts) - 1)
-        ):
+        if np.any(cuts[:-1] > cuts[1:]):
             raise CrackerError("cuts not non-decreasing")
-        if self._cuts and (self._cuts[0] < 0 or self._cuts[-1] > self._n):
+        if k and (cuts[0] < 0 or cuts[-1] > self._n):
             raise CrackerError("cut positions outside [0, n]")
-        if len(self._sorted_flags) != self.piece_count:
-            raise CrackerError(
-                f"{len(self._sorted_flags)} sorted flags for "
-                f"{self.piece_count} pieces"
-            )
+        if not self._max_dirty:
+            sizes = self._sizes_array()
+            true_max = int(sizes.max())
+            if true_max != self._max_size:
+                raise CrackerError(
+                    f"cached max piece size {self._max_size} != "
+                    f"actual {true_max}"
+                )
 
     def __repr__(self) -> str:
         return (

@@ -14,16 +14,33 @@ work, so serial runs produce byte-identical tapes), and the tape
 counts per-worker *contention stalls* -- latch acquisitions that had
 to wait for another worker or a foreground query.  Appends are guarded
 by a lock so worker threads can share one tape.
+
+Hot-path design (ISSUE 3).  Recording is a ring-buffer append of a raw
+tuple; :class:`TapeRecord` objects are materialized lazily on read, so
+the steady state pays one tuple and one deque append per crack instead
+of a dataclass construction.  Two optional knobs bound the
+instrumentation tax further:
+
+* ``capacity`` -- keep only the newest N records (the deque ring
+  buffer drops the oldest); per-origin counters stay exact.
+* ``sample_every`` -- store every k-th record only.  Counters still
+  see every action, so :meth:`count` is exact while ``len(tape)``
+  reflects what was retained.
+
+Both default to full recording, which is byte-identical to the
+original tape.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.cracking.piece import CrackOrigin
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,11 +64,35 @@ class TapeRecord:
 
 
 class CrackTape:
-    """Append-only refinement log with per-origin counters."""
+    """Append-only refinement log with per-origin counters.
 
-    def __init__(self) -> None:
-        self._records: list[TapeRecord] = []
-        self._counts: dict[CrackOrigin, int] = {o: 0 for o in CrackOrigin}
+    Args:
+        capacity: retain at most this many records (ring buffer);
+            ``None`` retains everything.
+        sample_every: store every k-th action only (>= 1).  Counters
+            remain exact regardless.
+    """
+
+    def __init__(
+        self, capacity: int | None = None, sample_every: int = 1
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigError(
+                f"tape capacity must be >= 1 or None, got {capacity}"
+            )
+        if sample_every < 1:
+            raise ConfigError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.capacity = capacity
+        self.sample_every = sample_every
+        #: Raw (timestamp, origin, pivot, position, piece_size, worker)
+        #: tuples; TapeRecord objects are built lazily on read.
+        self._records: deque[tuple] = deque(maxlen=capacity)
+        #: Keyed by ``CrackOrigin.value`` -- string hashing is cheaper
+        #: than enum hashing on the per-crack path.
+        self._counts: dict[str, int] = {o.value: 0 for o in CrackOrigin}
+        self._seen = 0
         self._stalls: dict[int | None, int] = {}
         self._lock = threading.Lock()
         self._tls = threading.local()
@@ -92,14 +133,47 @@ class CrackTape:
             return self._stalls.get(worker, 0)
 
     def records_by_worker(self) -> dict[int | None, int]:
-        """Record counts keyed by worker id (None = foreground)."""
+        """Record counts keyed by worker id (None = foreground).
+
+        Counts *retained* records (after any capacity/sampling drops).
+        """
         with self._lock:
             counts: dict[int | None, int] = {}
-            for record in self._records:
-                counts[record.worker] = counts.get(record.worker, 0) + 1
+            for raw in self._records:
+                counts[raw[5]] = counts.get(raw[5], 0) + 1
             return counts
 
     # -- recording ------------------------------------------------------
+
+    def log(
+        self,
+        timestamp: float,
+        origin: CrackOrigin,
+        pivot: float,
+        position: int,
+        piece_size: int,
+        worker: int | None = None,
+    ) -> tuple | None:
+        """Append one action without materializing a :class:`TapeRecord`.
+
+        The hot-path variant of :meth:`record`: the index logs every
+        crack but never reads the record back, so the dataclass is not
+        constructed.  Returns the raw stored tuple, or ``None`` when
+        the sampling mode dropped it (counters are updated regardless).
+        """
+        if worker is None:
+            worker = getattr(self._tls, "worker", None)
+        raw = (timestamp, origin, pivot, position, piece_size, worker)
+        with self._lock:
+            self._counts[origin.value] += 1
+            self._seen += 1
+            if (
+                self.sample_every != 1
+                and (self._seen - 1) % self.sample_every
+            ):
+                return None
+            self._records.append(raw)
+        return raw
 
     def record(
         self,
@@ -109,50 +183,52 @@ class CrackTape:
         position: int,
         piece_size: int,
         worker: int | None = None,
-    ) -> TapeRecord:
-        """Append one action and return its record.
+    ) -> TapeRecord | None:
+        """Append one action; return its record (None when sampled out).
 
         ``worker`` defaults to the calling thread's attribution (see
         :meth:`attribution`); foreground/serial work records ``None``.
         """
-        if worker is None:
-            worker = self.current_worker()
-        entry = TapeRecord(
+        raw = self.log(
             timestamp, origin, pivot, position, piece_size, worker
         )
-        with self._lock:
-            self._records.append(entry)
-            self._counts[origin] += 1
-        return entry
+        return None if raw is None else TapeRecord(*raw)
 
     def __len__(self) -> int:
+        """Number of *retained* records (== actions when unsampled)."""
         return len(self._records)
 
     def __iter__(self) -> Iterator[TapeRecord]:
         return iter(self.records())
 
     def records(self) -> list[TapeRecord]:
-        """All records, oldest first (copy)."""
+        """All retained records, oldest first (materialized copies)."""
         with self._lock:
-            return list(self._records)
+            return [TapeRecord(*raw) for raw in self._records]
 
     def count(self, origin: CrackOrigin | None = None) -> int:
-        """Number of actions, optionally filtered by origin."""
+        """Number of actions seen, optionally filtered by origin.
+
+        Exact even under ``capacity``/``sample_every`` limits.
+        """
         if origin is None:
-            return len(self._records)
-        return self._counts[origin]
+            return self._seen
+        return self._counts[origin.value]
 
     def last(self) -> TapeRecord | None:
-        """The most recent record, or None when empty."""
+        """The most recent retained record, or None when empty."""
         with self._lock:
-            return self._records[-1] if self._records else None
+            if not self._records:
+                return None
+            return TapeRecord(*self._records[-1])
 
     def since(self, timestamp: float) -> list[TapeRecord]:
-        """Records strictly newer than ``timestamp``."""
+        """Retained records strictly newer than ``timestamp``."""
         return [r for r in self.records() if r.timestamp > timestamp]
 
     def clear(self) -> None:
         with self._lock:
             self._records.clear()
-            self._counts = {o: 0 for o in CrackOrigin}
+            self._counts = {o.value: 0 for o in CrackOrigin}
+            self._seen = 0
             self._stalls.clear()

@@ -38,6 +38,7 @@ def merge_inserts(index: CrackerIndex, values: np.ndarray) -> int:
             "cannot merge inserts into a row-id-tracking index; "
             "rebuild the column instead"
         )
+    index.ensure_values_fit(np.asarray(values))
     values = np.sort(np.asarray(values, dtype=index.values.dtype))
     if len(values) == 0:
         return 0
@@ -92,6 +93,9 @@ def merge_deletes(index: CrackerIndex, values: np.ndarray) -> int:
             "cannot merge deletes into a row-id-tracking index; "
             "rebuild the column instead"
         )
+    # Out-of-range targets must not wrap into deletable in-range values
+    # on a narrowed column; widening first keeps the match exact.
+    index.ensure_values_fit(np.asarray(values))
     values = np.sort(np.asarray(values, dtype=index.values.dtype))
     if len(values) == 0:
         return 0

@@ -179,15 +179,7 @@ class AuxiliaryTuner:
 
     def _sort_smallest_unsorted(self, index: CrackerIndex) -> bool:
         """Finish off the smallest unsorted piece by sorting it."""
-        best_index: int | None = None
-        best_size: int | None = None
-        for i in range(index.piece_map.piece_count):
-            piece = index.piece_map.piece_at_index(i)
-            if piece.is_sorted or piece.size <= 1:
-                continue
-            if best_size is None or piece.size < best_size:
-                best_size = piece.size
-                best_index = i
+        best_index = index.piece_map.smallest_unsorted_index(min_size=2)
         if best_index is None:
             return False
         index.sort_piece_at(best_index)

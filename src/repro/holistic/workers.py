@@ -146,7 +146,7 @@ class TuningWorkerPool:
         ]
         self._next_queue = 0
         self._threads: list[threading.Thread] = []
-        self._idents: dict[int, int] = {}  # thread ident -> worker id
+        self._idents: dict[int, int] = {}  # clock lane id -> worker id
         self._policy_lock = threading.Lock()
         self._window_lock = threading.Lock()
         self._window = _Window()
@@ -363,7 +363,12 @@ class TuningWorkerPool:
     # -- the workers ----------------------------------------------------
 
     def _worker_loop(self, worker_id: int) -> None:
-        self._idents[threading.get_ident()] = worker_id
+        # Register under the clock's stable lane id (thread idents are
+        # recycled by the OS; see SimClock.current_lane).
+        if hasattr(self.clock, "current_lane"):
+            self._idents[self.clock.current_lane()] = worker_id
+        else:
+            self._idents[threading.get_ident()] = worker_id
         line = self._queues[worker_id]
         while True:
             token = line.get()

@@ -8,7 +8,7 @@ driving a deterministic :class:`SimClock`.  A :class:`WallClock` is
 provided for genuine measurements of the numpy kernels.
 """
 
-from repro.simtime.charge import CostCharge
+from repro.simtime.charge import ChargeBatch, CostCharge
 from repro.simtime.clock import (
     Clock,
     ParallelAccount,
@@ -34,6 +34,7 @@ from repro.simtime.costs import (
 from repro.simtime.model import CostModel, projection_scale
 
 __all__ = [
+    "ChargeBatch",
     "Clock",
     "CostCharge",
     "CostConstants",

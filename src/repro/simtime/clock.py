@@ -36,7 +36,12 @@ class ParallelAccount:
         elapsed_s: virtual wall-clock of the phase -- the maximum lane.
         busy_s: aggregate work across all lanes (the serial-equivalent
             cost; ``busy_s / elapsed_s`` is the achieved speedup).
-        lanes: per-lane busy seconds, keyed by thread ident.
+        lanes: per-lane busy seconds, keyed by the clock's stable lane
+            id (see :meth:`SimClock.current_lane`).  Lane ids are used
+            instead of raw thread idents because the OS reuses idents:
+            a short-lived thread's ident can be handed to a later
+            thread, silently merging two lanes and overstating the
+            phase's elapsed time.
     """
 
     elapsed_s: float = 0.0
@@ -84,19 +89,37 @@ class SimClock:
         self._parallel_base = 0.0
         self._lanes: dict[int, float] = {}
         self._lane_lock = threading.Lock()
+        self._lane_tls = threading.local()
+        self._lane_seq = 0
+
+    def current_lane(self) -> int:
+        """This thread's stable lane id (allocated on first use).
+
+        Thread idents are recycled by the OS, so two sequential
+        short-lived threads could share one; a thread-local sequence
+        number keeps every thread's lane distinct for the clock's
+        lifetime.
+        """
+        lane = getattr(self._lane_tls, "lane", None)
+        if lane is None:
+            with self._lane_lock:
+                lane = self._lane_seq
+                self._lane_seq += 1
+            self._lane_tls.lane = lane
+        return lane
 
     def now(self) -> float:
         if self._parallel:
-            lane = self._lanes.get(threading.get_ident(), 0.0)
+            lane = self._lanes.get(self.current_lane(), 0.0)
             return self._parallel_base + lane
         return self._now
 
     def charge(self, charge: CostCharge) -> float:
         seconds = self.model.seconds(charge)
         if self._parallel:
+            lane = self.current_lane()
             with self._lane_lock:
-                ident = threading.get_ident()
-                self._lanes[ident] = self._lanes.get(ident, 0.0) + seconds
+                self._lanes[lane] = self._lanes.get(lane, 0.0) + seconds
                 self.total_charge += charge
         else:
             self._now += seconds
@@ -107,9 +130,9 @@ class SimClock:
         if seconds < 0:
             raise ConfigError(f"cannot sleep a negative time: {seconds}")
         if self._parallel:
+            lane = self.current_lane()
             with self._lane_lock:
-                ident = threading.get_ident()
-                self._lanes[ident] = self._lanes.get(ident, 0.0) + seconds
+                self._lanes[lane] = self._lanes.get(lane, 0.0) + seconds
         else:
             self._now += seconds
 

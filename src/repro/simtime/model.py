@@ -49,20 +49,40 @@ class CostModel:
         return self.nanoseconds(charge) / _NS_PER_S
 
     def nanoseconds(self, charge: CostCharge) -> float:
-        """Price ``charge`` in virtual nanoseconds."""
+        """Price ``charge`` in virtual nanoseconds.
+
+        Zero counters are skipped: hot-path charges carry two or three
+        non-zero fields, and this method runs once per crack.  The
+        accumulation order matches the original field order exactly so
+        virtual-clock totals stay bit-identical.
+        """
         c = self.constants
         s = self.scale
         ns = 0.0
-        ns += c.scan_ns_per_element * charge.elements_scanned * s
-        ns += c.crack_ns_per_element * charge.elements_cracked * s
-        ns += c.merge_ns_per_element * charge.elements_merged * s
-        ns += c.materialize_ns_per_element * charge.elements_materialized * s
-        ns += self._sort_ns(charge.elements_sorted)
-        ns += c.probe_ns_per_comparison * charge.comparisons
-        ns += c.seek_ns * charge.seeks
-        ns += c.piece_overhead_ns * charge.pieces_touched
-        ns += c.query_overhead_ns * charge.queries
-        ns += c.crack_overhead_ns * charge.cracks
+        if charge.elements_scanned:
+            ns += c.scan_ns_per_element * charge.elements_scanned * s
+        if charge.elements_cracked:
+            ns += c.crack_ns_per_element * charge.elements_cracked * s
+        if charge.elements_merged:
+            ns += c.merge_ns_per_element * charge.elements_merged * s
+        if charge.elements_materialized:
+            ns += (
+                c.materialize_ns_per_element
+                * charge.elements_materialized
+                * s
+            )
+        if charge.elements_sorted:
+            ns += self._sort_ns(charge.elements_sorted)
+        if charge.comparisons:
+            ns += c.probe_ns_per_comparison * charge.comparisons
+        if charge.seeks:
+            ns += c.seek_ns * charge.seeks
+        if charge.pieces_touched:
+            ns += c.piece_overhead_ns * charge.pieces_touched
+        if charge.queries:
+            ns += c.query_overhead_ns * charge.queries
+        if charge.cracks:
+            ns += c.crack_overhead_ns * charge.cracks
         return ns
 
     def _sort_ns(self, n: int) -> float:
