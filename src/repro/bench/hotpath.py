@@ -343,6 +343,7 @@ def run_hotpath_command(
     out: str | None,
     baseline_path: str | None,
     check_path: str | None,
+    repeats: int = 3,
 ) -> tuple[str, int]:
     """CLI driver for ``python -m repro.bench hotpath``.
 
@@ -355,7 +356,9 @@ def run_hotpath_command(
         if queries is not None
         else (QUICK_QUERIES if quick else DEFAULT_QUERIES)
     )
-    result = run_hotpath(rows=rows, queries=queries, seed=seed, mode=mode)
+    result = run_hotpath(
+        rows=rows, queries=queries, seed=seed, mode=mode, repeats=repeats
+    )
     if baseline_path:
         baseline = json.loads(Path(baseline_path).read_text())
         attach_baseline(result, baseline)

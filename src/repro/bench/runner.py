@@ -67,6 +67,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "ablation-cache",
             "ablation-batch",
             "hotpath",
+            "e2e",
             "all",
         ],
         help="which artefact to regenerate",
@@ -99,41 +100,55 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write exp1/exp2 series as CSV into this directory",
     )
-    hotpath = parser.add_argument_group("hotpath options")
-    hotpath.add_argument(
+    wallclock = parser.add_argument_group("hotpath / e2e options")
+    wallclock.add_argument(
         "--quick",
         action="store_true",
-        help="CI-sized hotpath run (100k rows, 1k queries)",
+        help="CI-sized run (100k rows; 1k hotpath ops / 400 e2e queries)",
     )
-    hotpath.add_argument(
-        "--rows", type=int, default=None, help="hotpath row count"
+    wallclock.add_argument(
+        "--rows", type=int, default=None, help="benchmark row count"
     )
-    hotpath.add_argument(
-        "--queries", type=int, default=None, help="hotpath query count"
+    wallclock.add_argument(
+        "--queries", type=int, default=None, help="benchmark query count"
     )
-    hotpath.add_argument(
+    wallclock.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N repeats per wall-clock scenario (default: 3)",
+    )
+    wallclock.add_argument(
         "--out",
         default=None,
-        help="hotpath JSON output path (default: BENCH_hotpath.json)",
+        help=(
+            "JSON output path (default: BENCH_hotpath.json / "
+            "BENCH_e2e.json)"
+        ),
     )
-    hotpath.add_argument(
+    wallclock.add_argument(
         "--baseline-json",
         default=None,
-        help="embed this earlier hotpath JSON as the run's baseline",
+        help=(
+            "embed this earlier hotpath JSON as the run's baseline "
+            "(hotpath only)"
+        ),
     )
-    hotpath.add_argument(
+    wallclock.add_argument(
         "--check",
         default=None,
         help=(
-            "compare against this committed hotpath JSON; exit non-zero "
-            "on a >2x throughput regression or fingerprint divergence"
+            "compare against this committed benchmark JSON; exit "
+            "non-zero on a >2x throughput regression or fingerprint "
+            "divergence"
         ),
     )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     scale = scale_by_name(args.scale)
     outputs: list[str] = []
 
@@ -148,6 +163,24 @@ def main(argv: list[str] | None = None) -> int:
             out=args.out,
             baseline_path=args.baseline_json,
             check_path=args.check,
+            repeats=args.repeats,
+        )
+        print(text)
+        return exit_code
+
+    if args.command == "e2e":
+        from repro.bench.e2e import run_e2e_command
+
+        if args.baseline_json:
+            parser.error("--baseline-json only applies to hotpath")
+        text, exit_code = run_e2e_command(
+            rows=args.rows,
+            queries=args.queries,
+            seed=args.seed,
+            quick=args.quick,
+            out=args.out,
+            check_path=args.check,
+            repeats=args.repeats,
         )
         print(text)
         return exit_code

@@ -1,0 +1,336 @@
+"""Batched range selects over one cracker index.
+
+The session-loop amortization (ISSUE 4) rests on one property of
+cracking: a cut's position is *order independent*.  Cracking at value
+``v`` always lands at the number of elements ``< v`` in the column, no
+matter how many other cracks happen before or after.  A window of
+queries can therefore be executed in two decoupled halves:
+
+* a **physical pass** (:meth:`CrackerIndex.begin_select_batch`) cracks
+  every bound of the window in one grouped sweep -- one shared
+  ``crack_spans_batch`` dispatch for pieces taking one pivot or one
+  query's bound pair, ``crack_multi`` counting partitions for denser
+  pieces, vectorized ``searchsorted`` for sorted pieces, one
+  ``insert_cracks_bulk`` piece-map splice -- touching each piece once
+  instead of once per query, with **no** clock or tape side effects;
+* an **accounting replay** (:class:`CrackSelectBatch`) that steps
+  query by query over a lightweight pure-Python shadow of the
+  pre-window piece map, emitting exactly the charges and tape records
+  sequential :meth:`CrackerIndex.select_range` calls would have
+  produced -- the same crack-in-three fusion, the same binary-search
+  charges for pivot hits, the same piece sizes, the same timestamps.
+
+Because the replay reproduces the sequential charge stream verbatim,
+per-query response times, cumulative clock totals and tape contents
+are bit-for-bit identical to one-at-a-time execution; only wall-clock
+time changes.  The replay must be driven to completion, one
+:meth:`CrackSelectBatch.replay_query` call per window entry in window
+order, before the index is used again -- the session's ``run_batch``
+loop is the only intended caller.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.cracking.piece import CrackOrigin
+from repro.errors import CrackerError
+from repro.simtime.accounting import DirectAccountant
+from repro.storage.views import RangeView
+
+
+class ReplayPieceMap:
+    """Pure-Python shadow of a :class:`PieceMap` for accounting replay.
+
+    Mirrors :meth:`PieceMap.locate` / :meth:`PieceMap.add_crack_at`
+    semantics exactly (bisect on plain lists instead of numpy
+    searchsorted -- faster for the one-value lookups the replay makes)
+    without ever touching the real map, which the physical pass has
+    already advanced to its end-of-window state.
+    """
+
+    __slots__ = ("n", "pivots", "cuts", "flags")
+
+    def __init__(
+        self,
+        n: int,
+        pivots: list[float],
+        cuts: list[int],
+        flags: list[bool],
+    ) -> None:
+        self.n = n
+        self.pivots = pivots
+        self.cuts = cuts
+        self.flags = flags
+
+    @classmethod
+    def snapshot(cls, piece_map) -> "ReplayPieceMap":
+        return cls(
+            piece_map.row_count,
+            piece_map.pivots(),
+            piece_map.cuts(),
+            piece_map.sorted_flags(),
+        )
+
+    @property
+    def piece_count(self) -> int:
+        return len(self.pivots) + 1
+
+    def locate(self, value: float) -> tuple[int, int, int, bool, bool]:
+        """``(piece_index, start, end, is_sorted, at_pivot)``."""
+        pivots = self.pivots
+        i = bisect_right(pivots, value)
+        at_pivot = i > 0 and pivots[i - 1] == value
+        cuts = self.cuts
+        start = cuts[i - 1] if i > 0 else 0
+        end = cuts[i] if i < len(pivots) else self.n
+        return i, start, end, self.flags[i], at_pivot
+
+    def add_crack_at(self, i: int, value: float, position: int) -> None:
+        self.pivots.insert(i, value)
+        self.cuts.insert(i, position)
+        # Both halves inherit the split piece's sorted flag.
+        self.flags.insert(i, self.flags[i])
+
+
+class CrackSelectBatch:
+    """Replay handle for one column's window of range selects.
+
+    Created by :meth:`CrackerIndex.begin_select_batch` after the
+    physical pass; :meth:`replay` must then be called once per window
+    entry, in window order.
+    """
+
+    __slots__ = (
+        "_index",
+        "_values",
+        "_rowids",
+        "_sim",
+        "_positions",
+        "_copy_charged",
+        "_origin",
+        "_acc",
+        "_tape",
+        "_expected",
+        "_done",
+        "_view_cache",
+    )
+
+    def __init__(
+        self,
+        index,
+        sim: ReplayPieceMap,
+        positions: dict[float, int],
+        copy_charged: bool,
+        origin: CrackOrigin,
+        expected: int,
+    ) -> None:
+        self._index = index
+        self._values = index.values
+        self._rowids = index.rowids
+        self._sim = sim
+        self._positions = positions
+        self._copy_charged = copy_charged
+        self._origin = origin
+        #: Replaced by the session's window accountant via bind();
+        #: the default forwards each event to the clock immediately,
+        #: which direct (index-level) users rely on.
+        self._acc = DirectAccountant(index.clock)
+        self._tape = index.tape
+        self._expected = expected
+        self._done = 0
+        # Repeated warm predicates (parameterized workloads) resolve
+        # to the same [pos_low, pos_high) slice; cut positions are
+        # absolute and stable under cracking, and RangeViews are
+        # immutable, so identical slices share one view object.  The
+        # dict lives on the index (it stays valid across windows) and
+        # is reset whenever the cracker column is replaced (update
+        # merges, widening) -- see begin_select_batch.
+        self._view_cache: dict[tuple[int, int], RangeView] = (
+            index._span_views
+        )
+
+    def bind(self, accountant) -> None:
+        """Route this context's charges through ``accountant``."""
+        self._acc = accountant
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every window entry has been replayed.
+
+        A complete replay leaves the shadow map identical to the real
+        piece map, which lets the index reuse it for the next window
+        instead of re-snapshotting (see
+        :meth:`CrackerIndex.begin_select_batch`).
+        """
+        return self._done >= self._expected
+
+    @property
+    def sim(self) -> ReplayPieceMap:
+        return self._sim
+
+    def _charge_copy_if_needed(self) -> None:
+        if self._copy_charged:
+            return
+        self._copy_charged = True
+        rows = self._index.row_count
+        if rows:
+            self._acc.charge_materialize(rows)
+
+    def _cut(
+        self, value: float, i: int, start: int, end: int,
+        is_sorted: bool, at_pivot: bool,
+    ) -> int:
+        """Replay of :meth:`CrackerIndex._cut_located` for one bound."""
+        acc = self._acc
+        if at_pivot:
+            acc.charge_binary(self._sim.piece_count)
+            return start
+        self._charge_copy_if_needed()
+        position = self._positions[value]
+        self._sim.add_crack_at(i, value, position)
+        size = end - start
+        if is_sorted:
+            acc.charge_binary(max(1, size))
+        elif size == 0:
+            acc.charge_empty_crack()
+        else:
+            acc.charge_crack(size, 1)
+        self._tape.log(acc.now, self._origin, value, position, size)
+        return position
+
+    def replay_query(self, low: float, high: float) -> RangeView:
+        """Account for one window query; return its result view.
+
+        Owns the whole per-query charge stream -- the
+        ``CostCharge(queries=1)`` overhead first, then exactly the
+        charges and tape records a sequential :meth:`Session.run_query`
+        /:meth:`CrackerIndex.select_range` pair would have produced at
+        this point of the window, including the crack-in-three fusion
+        when both bounds fall into the same unsorted piece.  The piece
+        lookups inline :meth:`ReplayPieceMap.locate` -- this path runs
+        twice per query of every batched window.
+        """
+        sim = self._sim
+        pivots = sim.pivots
+        cuts = sim.cuts
+        low_index = bisect_right(pivots, low)
+        low_pivot = low_index > 0 and pivots[low_index - 1] == low
+        high_index = bisect_right(pivots, high)
+        high_pivot = high_index > 0 and pivots[high_index - 1] == high
+        if low_pivot and high_pivot:
+            # Warm path: both bounds are existing cuts -- per-query
+            # overhead and two pivot probes in one fused fold; no
+            # cracking, no tape.
+            self._acc.charge_warm_select(len(pivots) + 1)
+            self._done += 1
+            span = (
+                cuts[low_index - 1] if low_index > 0 else 0,
+                cuts[high_index - 1],
+            )
+            view = self._view_cache.get(span)
+            if view is None:
+                view = RangeView(
+                    self._values, span[0], span[1], self._rowids
+                )
+                self._view_cache[span] = view
+            return view
+        self._acc.charge_query()
+        return self._replay_located(
+            low, high, low_index, low_pivot, high_index, high_pivot
+        )
+
+    def replay(self, low: float, high: float) -> RangeView:
+        """Like :meth:`replay_query`, for callers that have already
+        charged the per-query overhead (the holistic wrapper charges
+        it before capturing its monitor timestamp)."""
+        sim = self._sim
+        pivots = sim.pivots
+        cuts = sim.cuts
+        low_index = bisect_right(pivots, low)
+        low_pivot = low_index > 0 and pivots[low_index - 1] == low
+        high_index = bisect_right(pivots, high)
+        high_pivot = high_index > 0 and pivots[high_index - 1] == high
+        if low_pivot and high_pivot:
+            self._acc.charge_binary_pair(len(pivots) + 1)
+            self._done += 1
+            span = (
+                cuts[low_index - 1] if low_index > 0 else 0,
+                cuts[high_index - 1],
+            )
+            view = self._view_cache.get(span)
+            if view is None:
+                view = RangeView(
+                    self._values, span[0], span[1], self._rowids
+                )
+                self._view_cache[span] = view
+            return view
+        return self._replay_located(
+            low, high, low_index, low_pivot, high_index, high_pivot
+        )
+
+    def _replay_located(
+        self,
+        low: float,
+        high: float,
+        low_index: int,
+        low_pivot: bool,
+        high_index: int,
+        high_pivot: bool,
+    ) -> RangeView:
+        """The cracking replay for queries with at least one fresh
+        bound (charges and tape records replicate sequential
+        :meth:`CrackerIndex.select_range` exactly)."""
+        sim = self._sim
+        cuts = sim.cuts
+        k = len(sim.pivots)
+        start = cuts[low_index - 1] if low_index > 0 else 0
+        end = cuts[low_index] if low_index < k else sim.n
+        low_sorted = sim.flags[low_index]
+        if (
+            low_index == high_index
+            and not low_pivot
+            and not high_pivot
+            and not low_sorted
+            and low < high
+            and end > start
+        ):
+            self._charge_copy_if_needed()
+            pos_low = self._positions[low]
+            pos_high = self._positions[high]
+            sim.add_crack_at(low_index, low, pos_low)
+            sim.add_crack_at(low_index + 1, high, pos_high)
+            size = end - start
+            acc = self._acc
+            acc.charge_crack(size, 2)
+            now = acc.now
+            tape_log = self._tape.log
+            tape_log(now, self._origin, low, pos_low, size)
+            tape_log(now, self._origin, high, pos_high, size)
+        else:
+            pos_low = self._cut(
+                low, low_index, start, end, low_sorted, low_pivot
+            )
+            pos_high = self._cut(high, *sim.locate(high))
+        self._done += 1
+        return RangeView(self._values, pos_low, pos_high, self._rowids)
+
+    def check_consistent(self) -> None:
+        """Verify the replay converged onto the physical state.
+
+        Debug/test helper: after a full replay the shadow map must
+        equal the real (already advanced) piece map.
+
+        Raises:
+            CrackerError: when the replay and the physical pass
+                disagree -- an accounting bug.
+        """
+        real = self._index.piece_map
+        if (
+            self._sim.pivots != real.pivots()
+            or self._sim.cuts != real.cuts()
+            or self._sim.flags != real.sorted_flags()
+        ):
+            raise CrackerError(
+                "batched select replay diverged from the physical pass"
+            )

@@ -48,6 +48,13 @@ from repro.simtime.charge import CostCharge
 #: into a reusable scratch buffer instead of allocating a fresh one.
 CHUNK_THRESHOLD = 16_384
 
+#: ``crack_spans_batch`` gathers only pieces below this many rows into
+#: its shared classification buffer; larger pieces are partitioned
+#: directly (three-way), where the extra gather/scatter traffic of the
+#: batched classification would cost more than the per-call dispatch
+#: it saves.
+SPAN_GATHER_LIMIT = 4_096
+
 
 class CrackScratch:
     """Reusable partition buffers (amortized growth, never shrunk).
@@ -182,6 +189,39 @@ def crack_in_two(
     return start + n_left, CostCharge.for_crack(size)
 
 
+def _partition_three(
+    view: np.ndarray,
+    rview: np.ndarray | None,
+    n_lo: int,
+    n_mid: int,
+    scratch: CrackScratch,
+) -> None:
+    """Three-way in-place partition from precomputed band counts.
+
+    Selects at the low split, then at the mid/high split of the right
+    remainder; with row ids each selection derives one argpartition
+    permutation applied to both arrays.  Shared by
+    :func:`crack_in_three` (which counts first) and
+    :func:`crack_spans_batch` (which counts all its pieces in one
+    vectorized pass).
+    """
+    size = view.size
+    if rview is None:
+        if 0 < n_lo < size:
+            view.partition(n_lo - 1)
+        right = view[n_lo:]
+        if 0 < n_mid < right.size:
+            right.partition(n_mid - 1)
+        return
+    if 0 < n_lo < size:
+        order = np.argpartition(view, n_lo - 1)
+        _apply_permutation(view, rview, order, scratch)
+    right = view[n_lo:]
+    if 0 < n_mid < right.size:
+        order = np.argpartition(right, n_mid - 1)
+        _apply_permutation(right, rview[n_lo:], order, scratch)
+
+
 def crack_in_three(
     array: np.ndarray,
     start: int,
@@ -219,21 +259,7 @@ def crack_in_three(
     # order inside each band is unspecified.
     n_lo = _count_below(view, low, scratch)
     n_below_high = _count_below(view, high, scratch)
-    n_mid = n_below_high - n_lo
-    if rview is None:
-        if 0 < n_lo < size:
-            view.partition(n_lo - 1)
-        right = view[n_lo:]
-        if 0 < n_mid < right.size:
-            right.partition(n_mid - 1)
-        return start + n_lo, start + n_below_high, charge
-    if 0 < n_lo < size:
-        order = np.argpartition(view, n_lo - 1)
-        _apply_permutation(view, rview, order, scratch)
-    right = view[n_lo:]
-    if 0 < n_mid < right.size:
-        order = np.argpartition(right, n_mid - 1)
-        _apply_permutation(right, rview[n_lo:], order, scratch)
+    _partition_three(view, rview, n_lo, n_below_high - n_lo, scratch)
     return start + n_lo, start + n_below_high, charge
 
 
@@ -242,6 +268,7 @@ def crack_in_two_batch(
     tasks: list[tuple[int, int, float]],
     rowids: np.ndarray | None = None,
     scratch: CrackScratch | None = None,
+    validate: bool = True,
 ) -> tuple[list[int], list[CostCharge]]:
     """Crack many disjoint pieces, each around its own pivot.
 
@@ -265,17 +292,18 @@ def crack_in_two_batch(
         raise CrackerError("row-id array must align with the value array")
     if not tasks:
         return [], []
-    previous_end = None
-    for start, end, _ in sorted(tasks, key=lambda t: (t[0], t[1])):
-        _check_bounds(array, start, end)
-        if end == start:
-            continue  # empty pieces cannot overlap anything
-        if previous_end is not None and start < previous_end:
-            raise CrackerError(
-                "crack_in_two_batch pieces overlap: "
-                f"[{start}, {end}) begins before {previous_end}"
-            )
-        previous_end = end
+    if validate:
+        previous_end = None
+        for start, end, _ in sorted(tasks, key=lambda t: (t[0], t[1])):
+            _check_bounds(array, start, end)
+            if end == start:
+                continue  # empty pieces cannot overlap anything
+            if previous_end is not None and start < previous_end:
+                raise CrackerError(
+                    "crack_in_two_batch pieces overlap: "
+                    f"[{start}, {end}) begins before {previous_end}"
+                )
+            previous_end = end
     if scratch is None:
         scratch = default_scratch()
     splits = [0] * len(tasks)
@@ -335,6 +363,119 @@ def crack_in_two_batch(
             order = np.argpartition(view, n_left - 1)
             _apply_permutation(view, rowids[start:end], order, scratch)
     return splits, charges
+
+
+def crack_spans_batch(
+    array: np.ndarray,
+    tasks: list[tuple[int, int, float, float]],
+    rowids: np.ndarray | None = None,
+    scratch: CrackScratch | None = None,
+    validate: bool = True,
+) -> list[tuple[int, int]]:
+    """Crack many disjoint pieces, each around one *or two* pivots.
+
+    ``tasks`` is a list of ``(start, end, low, high)`` with
+    ``low <= high`` describing pairwise-disjoint pieces; a
+    single-pivot task simply passes ``low == high``.  The physical
+    backbone of a batched select window: every small piece's elements
+    are classified against both of its pivots with **two** vectorized
+    comparison dispatches over one gathered buffer (per-piece counts
+    via ``add.reduceat``), then partitioned in place -- replacing one
+    ``crack_in_three`` kernel call per piece with a couple of numpy
+    micro-partitions each.  Large pieces are partitioned directly, as
+    gathering them would double their traffic.
+
+    Returns ``(split_low, split_high)`` per task: the absolute
+    positions of the first element ``>= low`` and ``>= high``.  No
+    cost accounting -- callers of this kernel replay charges
+    separately (see :mod:`repro.cracking.batch`).
+
+    Raises:
+        CrackerError: on invalid bounds, inverted pivots, overlapping
+            pieces, or misaligned row ids.
+    """
+    if rowids is not None and len(rowids) != len(array):
+        raise CrackerError("row-id array must align with the value array")
+    if not tasks:
+        return []
+    if validate:
+        previous_end = None
+        for start, end, low, high in sorted(tasks):
+            _check_bounds(array, start, end)
+            if low > high:
+                raise CrackerError(
+                    f"crack range inverted: low={low} > high={high}"
+                )
+            if end == start:
+                continue
+            if previous_end is not None and start < previous_end:
+                raise CrackerError(
+                    "crack_spans_batch pieces overlap: "
+                    f"[{start}, {end}) begins before {previous_end}"
+                )
+            previous_end = end
+    if scratch is None:
+        scratch = default_scratch()
+    splits: list[tuple[int, int]] = [(0, 0)] * len(tasks)
+    small: list[int] = []
+    for task_index, (start, end, low, high) in enumerate(tasks):
+        size = end - start
+        if size == 0:
+            splits[task_index] = (start, start)
+        elif size >= SPAN_GATHER_LIMIT:
+            if low == high:
+                n_left = _partition_two(
+                    array[start:end],
+                    low,
+                    None if rowids is None else rowids[start:end],
+                    scratch,
+                )
+                splits[task_index] = (start + n_left, start + n_left)
+            else:
+                pos_low, pos_high, _charge = crack_in_three(
+                    array, start, end, low, high, rowids, scratch
+                )
+                splits[task_index] = (pos_low, pos_high)
+        else:
+            small.append(task_index)
+    if not small:
+        return splits
+    sizes = np.array(
+        [tasks[t][1] - tasks[t][0] for t in small], dtype=np.int64
+    )
+    total = int(sizes.sum())
+    gathered = scratch.get("spans_values", total, array.dtype)
+    offsets = np.zeros(len(small) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    for slot, task_index in enumerate(small):
+        start, end, _, _ = tasks[task_index]
+        gathered[offsets[slot] : offsets[slot + 1]] = array[start:end]
+    view = gathered[:total]
+    low_vector = np.repeat(
+        np.array([tasks[t][2] for t in small], dtype=np.float64), sizes
+    )
+    high_vector = np.repeat(
+        np.array([tasks[t][3] for t in small], dtype=np.float64), sizes
+    )
+    below_low = view < low_vector
+    below_high = view < high_vector
+    # dtype matters: np.add over booleans is logical-or, so the counts
+    # must accumulate into an integer type.
+    n_low = np.add.reduceat(below_low, offsets[:-1], dtype=np.int64)
+    n_high = np.add.reduceat(below_high, offsets[:-1], dtype=np.int64)
+    for slot, task_index in enumerate(small):
+        start, end, low, high = tasks[task_index]
+        lo_count = int(n_low[slot])
+        hi_count = int(n_high[slot])
+        splits[task_index] = (start + lo_count, start + hi_count)
+        _partition_three(
+            array[start:end],
+            None if rowids is None else rowids[start:end],
+            lo_count,
+            hi_count - lo_count,
+            scratch,
+        )
+    return splits
 
 
 def crack_multi(

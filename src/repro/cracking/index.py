@@ -41,6 +41,7 @@ from repro.cracking.engine import (
     crack_in_two,
     crack_in_two_batch,
     crack_multi,
+    crack_spans_batch,
     sort_piece,
     split_sorted_piece,
 )
@@ -116,6 +117,16 @@ class CrackerIndex:
         )
         self._pieces = PieceMap(rows)
         self._scratch = CrackScratch()
+        #: (piece-map version, last batch context) -- lets consecutive
+        #: windows reuse the replay shadow map (see begin_select_batch).
+        self._replay_cache: tuple[int, object] | None = None
+        #: Shared warm-path result views for batched selects, keyed by
+        #: (pos_low, pos_high); valid for one physical array/rowids
+        #: generation (cut positions never move under pure cracking).
+        self._span_views: dict[tuple[int, int], object] = {}
+        # Strong references (not ids -- those can be recycled) to the
+        # arrays the cached views slice.
+        self._span_views_arrays = (self._array, self._rowids)
         self.tape = tape if tape is not None else CrackTape()
         self._copy_charged = not copy_on_first_touch
         if not copy_on_first_touch and rows:
@@ -259,6 +270,38 @@ class CrackerIndex:
             value, index, start, end, is_sorted, at_pivot, origin
         )
 
+    def _locate_fresh(
+        self, values: list[float]
+    ) -> tuple[dict[float, int], dict[int, list[float]]]:
+        """Split ``values`` into known pivots and fresh cracks.
+
+        Caller holds the lock.  Returns ``(positions, by_piece)``:
+        ``positions`` maps every distinct value to its cut position
+        (``-1`` for values still to be cracked), ``by_piece`` groups
+        the fresh values -- sorted ascending -- by containing piece
+        index.
+        """
+        pieces = self._pieces
+        positions: dict[float, int] = {}
+        fresh: list[float] = []
+        fresh_piece: dict[float, int] = {}
+        for value in values:
+            if value in positions:
+                continue
+            index, start, _, _, at_pivot = pieces.locate(value)
+            if at_pivot:
+                positions[value] = start
+            else:
+                positions[value] = -1
+                fresh.append(value)
+                fresh_piece[value] = index
+        by_piece: dict[int, list[float]] = {}
+        if fresh:
+            fresh.sort()
+            for value in fresh:
+                by_piece.setdefault(fresh_piece[value], []).append(value)
+        return positions, by_piece
+
     @_synchronized
     def ensure_cuts(
         self,
@@ -278,25 +321,9 @@ class CrackerIndex:
         cut position of every requested value, in input order.
         """
         pieces = self._pieces
-        positions: dict[float, int] = {}
-        fresh: list[float] = []
-        fresh_piece: dict[float, int] = {}
-        for value in values:
-            if value in positions:
-                continue
-            index, start, _, _, at_pivot = pieces.locate(value)
-            if at_pivot:
-                positions[value] = start
-            else:
-                positions[value] = -1
-                fresh.append(value)
-                fresh_piece[value] = index
-        if fresh:
+        positions, by_piece = self._locate_fresh(values)
+        if by_piece:
             self._charge_copy_if_needed()
-            fresh.sort()
-            by_piece: dict[int, list[float]] = {}
-            for value in fresh:
-                by_piece.setdefault(fresh_piece[value], []).append(value)
             # Physically partition every single-pivot unsorted piece in
             # one batched kernel call.  The pieces are pairwise
             # disjoint, so this commutes with the sweep below, which
@@ -453,6 +480,171 @@ class CrackerIndex:
                 high, *pieces.locate(high), origin
             )
         return RangeView(self._array, pos_low, pos_high, self._rowids)
+
+    # -- batched selects (ISSUE 4) ---------------------------------------
+
+    @_synchronized
+    def begin_select_batch(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        origin: CrackOrigin = CrackOrigin.QUERY,
+    ):
+        """Physically crack a whole window of range selects in one pass.
+
+        ``lows``/``highs`` are the aligned predicate bounds of the
+        window.  Every bound is cracked immediately -- grouped by
+        piece, with one kernel pass per piece -- but **nothing is
+        charged or logged**; the returned
+        :class:`~repro.cracking.batch.CrackSelectBatch` replays the
+        accounting query by query, reproducing sequential
+        :meth:`select_range` charges, timestamps and tape records
+        exactly.  The caller must drive one ``replay`` per window
+        entry, in order, before issuing other operations on this
+        index.
+
+        Raises:
+            QueryError: if any range is inverted.
+        """
+        from repro.cracking.batch import CrackSelectBatch, ReplayPieceMap
+
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if np.any(lows > highs):
+            slot = int(np.argmax(lows > highs))
+            raise QueryError(
+                f"range inverted: low={lows[slot]} > high={highs[slot]}"
+            )
+        # A fully-replayed previous window leaves its shadow map equal
+        # to the real map; reuse it when nothing else has mutated the
+        # map since (version check), saving the O(pieces) snapshot.
+        cached = self._replay_cache
+        if (
+            cached is not None
+            and cached[0] == self._pieces.version
+            and cached[1].is_complete
+        ):
+            sim = cached[1].sim
+        else:
+            sim = ReplayPieceMap.snapshot(self._pieces)
+        self._replay_cache = None
+        cached_arrays = self._span_views_arrays
+        if (
+            cached_arrays[0] is not self._array
+            or cached_arrays[1] is not self._rowids
+        ):
+            # Update merges / widening replaced the physical arrays:
+            # cut positions may have shifted, cached views are stale.
+            self._span_views = {}
+            self._span_views_arrays = (self._array, self._rowids)
+        copy_charged = self._copy_charged
+        # No dedup up front: locate_many tolerates duplicates, and
+        # fully-warm windows (every bound already a pivot) then skip
+        # the unique-sort entirely; only fresh values get deduped.
+        values = np.concatenate([lows, highs])
+        positions = self._crack_values_silent(values)
+        context = CrackSelectBatch(
+            self, sim, positions, copy_charged, origin, len(lows)
+        )
+        self._replay_cache = (self._pieces.version, context)
+        return context
+
+    def _crack_values_silent(
+        self, values: np.ndarray
+    ) -> dict[float, int]:
+        """Crack at every fresh value with no clock/tape side effects.
+
+        Caller holds the lock; ``values`` may repeat (the window's raw
+        bound list).  The physical half of a batched select, fully
+        vectorized: one :meth:`PieceMap.locate_many` classifies every
+        value, shared kernel dispatches partition the data
+        (``crack_spans_batch`` for pieces taking one pivot or one
+        query's bound pair, ``crack_multi`` for denser pieces,
+        ``searchsorted`` for sorted ones), and one
+        :meth:`PieceMap.insert_cracks_bulk` splice records every new
+        cut.  All accounting is left to the replay.  Returns the cut
+        position of every *fresh* value (existing pivots answer their
+        replays from the shadow map directly).
+        """
+        pieces = self._pieces
+        _, _, _, _, at_pivot = pieces.locate_many(values)
+        positions: dict[float, int] = {}
+        fresh_mask = ~at_pivot
+        if not np.any(fresh_mask):
+            return positions
+        # The replay emits the one-off copy charge at its first crack
+        # event, exactly where sequential execution would have; the
+        # flag flips here so later foreground cracks do not re-charge.
+        self._copy_charged = True
+        fresh_values = np.unique(values[fresh_mask])
+        fresh_pieces, f_starts, f_ends, f_flags, _ = pieces.locate_many(
+            fresh_values
+        )
+        fresh_starts = f_starts.tolist()
+        fresh_ends = f_ends.tolist()
+        fresh_sorted = f_flags.tolist()
+        # Pieces are value-ordered, so value-sorted fresh cracks have
+        # non-decreasing piece indices; group boundaries come from one
+        # diff instead of a Python dict of lists.
+        cut_points = np.flatnonzero(np.diff(fresh_pieces)) + 1
+        group_bounds = [0, *cut_points.tolist(), len(fresh_values)]
+        fresh_positions = np.empty(len(fresh_values), dtype=np.int64)
+        fresh_list = fresh_values.tolist()
+        span_slots: list[int] = []
+        span_pairs: list[bool] = []
+        span_tasks: list[tuple[int, int, float, float]] = []
+        for g in range(len(group_bounds) - 1):
+            lo, hi = group_bounds[g], group_bounds[g + 1]
+            start, end = fresh_starts[lo], fresh_ends[lo]
+            if fresh_sorted[lo]:
+                offsets = np.searchsorted(
+                    self._array[start:end],
+                    fresh_values[lo:hi],
+                    side="left",
+                )
+                fresh_positions[lo:hi] = start + offsets
+            elif hi - lo == 1:
+                span_slots.append(lo)
+                span_pairs.append(False)
+                value = fresh_list[lo]
+                span_tasks.append((start, end, value, value))
+            elif hi - lo == 2:
+                span_slots.append(lo)
+                span_pairs.append(True)
+                span_tasks.append(
+                    (start, end, fresh_list[lo], fresh_list[lo + 1])
+                )
+            else:
+                splits, _charge = crack_multi(
+                    self._array,
+                    start,
+                    end,
+                    fresh_list[lo:hi],
+                    self._rowids,
+                    self._scratch,
+                )
+                fresh_positions[lo:hi] = splits
+        if span_tasks:
+            # Pieces taking one pivot or one query's bound pair --
+            # the bulk of a converged window -- share a single
+            # three-way classification dispatch.
+            span_splits = crack_spans_batch(
+                self._array,
+                span_tasks,
+                self._rowids,
+                self._scratch,
+                validate=False,
+            )
+            for lo, pair, (pos_low, pos_high) in zip(
+                span_slots, span_pairs, span_splits
+            ):
+                fresh_positions[lo] = pos_low
+                if pair:
+                    fresh_positions[lo + 1] = pos_high
+        pieces.insert_cracks_bulk(fresh_values, fresh_positions)
+        for value, position in zip(fresh_list, fresh_positions.tolist()):
+            positions[value] = position
+        return positions
 
     # -- update support --------------------------------------------------
 

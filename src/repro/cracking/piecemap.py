@@ -61,6 +61,7 @@ class PieceMap:
         "_max_size",
         "_max_count",
         "_max_dirty",
+        "_version",
     )
 
     def __init__(self, n: int, sorted_initially: bool = False) -> None:
@@ -76,6 +77,7 @@ class PieceMap:
         self._max_size = n
         self._max_count = 1
         self._max_dirty = False
+        self._version = 0
 
     def _cache_addresses(self) -> None:
         """Cache buffer base addresses for the memmove insert path.
@@ -101,6 +103,12 @@ class PieceMap:
     def crack_count(self) -> int:
         return self._k
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every structural
+        change); lets callers cache derived views of the map."""
+        return self._version
+
     def pivots(self) -> list[float]:
         """The pivot values, in increasing order (copy)."""
         return self._pivots[: self._k].tolist()
@@ -108,6 +116,10 @@ class PieceMap:
     def cuts(self) -> list[int]:
         """The cut positions aligned with :meth:`pivots` (copy)."""
         return self._cuts[: self._k].tolist()
+
+    def sorted_flags(self) -> list[bool]:
+        """Per-piece sorted flags, in piece order (copy)."""
+        return self._sorted[: self._k + 1].tolist()
 
     def cut_position(self, crack_index: int) -> int:
         """The position of the ``crack_index``-th cut (0-based)."""
@@ -154,6 +166,90 @@ class PieceMap:
         start = int(self._cuts[i - 1]) if i > 0 else 0
         end = int(self._cuts[i]) if i < k else self._n
         return i, start, end, bool(self._sorted[i]), at_pivot
+
+    def locate_many(
+        self, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate` for many values at once.
+
+        Returns ``(piece_indices, starts, ends, is_sorted, at_pivot)``
+        arrays aligned with ``values`` -- one ``searchsorted`` over
+        the pivot column instead of one binary search per value.
+        ``starts`` is each containing piece's start position (for
+        ``at_pivot`` entries that is exactly the pivot's cut position,
+        as in :meth:`locate`).
+        """
+        k = self._k
+        values = np.asarray(values, dtype=np.float64)
+        indices = self._pivots[:k].searchsorted(values, side="right")
+        if k:
+            left = np.maximum(indices - 1, 0)
+            at_pivot = (indices > 0) & (self._pivots[left] == values)
+            starts = np.where(indices > 0, self._cuts[left], 0)
+            ends = np.where(
+                indices < k, self._cuts[np.minimum(indices, k - 1)], self._n
+            )
+        else:
+            at_pivot = np.zeros(len(values), dtype=bool)
+            starts = np.zeros(len(values), dtype=np.int64)
+            ends = np.full(len(values), self._n, dtype=np.int64)
+        flags = self._sorted[indices]
+        return indices, starts, ends, flags, at_pivot
+
+    def insert_cracks_bulk(
+        self, pivots: np.ndarray, positions: np.ndarray
+    ) -> None:
+        """Record many cracks in one vectorized splice.
+
+        ``pivots`` must be strictly increasing, none of them already
+        recorded, with ``positions`` aligned; every new piece inherits
+        its containing piece's sorted flag, exactly as repeated
+        :meth:`add_crack` calls would arrange.  One ``np.insert`` per
+        column replaces per-crack binary searches and tail shifts --
+        the piece-map half of a batched physical pass.
+
+        Raises:
+            CrackerError: if the splice would violate the piece-map
+                invariants.
+        """
+        fresh = len(pivots)
+        if fresh == 0:
+            return
+        k = self._k
+        pivots = np.asarray(pivots, dtype=np.float64)
+        positions = np.asarray(positions, dtype=np.int64)
+        slots = self._pivots[:k].searchsorted(pivots, side="left")
+        new_pivots = np.insert(self._pivots[:k], slots, pivots)
+        new_cuts = np.insert(self._cuts[:k], slots, positions)
+        flags = self._sorted[: k + 1]
+        new_flags = np.insert(flags, slots, flags[slots])
+        total = k + fresh
+        if np.any(new_pivots[:-1] >= new_pivots[1:]):
+            raise CrackerError(
+                "bulk crack insert breaks pivot ordering"
+            )
+        if np.any(new_cuts[:-1] > new_cuts[1:]) or (
+            new_cuts[0] < 0 or new_cuts[-1] > self._n
+        ):
+            raise CrackerError(
+                "bulk crack insert breaks cut ordering"
+            )
+        capacity = self._pivots.size
+        while capacity < total:
+            capacity *= 2
+        pivot_buf = np.empty(capacity, dtype=np.float64)
+        cut_buf = np.empty(capacity, dtype=np.int64)
+        flag_buf = np.zeros(capacity + 1, dtype=bool)
+        pivot_buf[:total] = new_pivots
+        cut_buf[:total] = new_cuts
+        flag_buf[: total + 1] = new_flags
+        self._pivots = pivot_buf
+        self._cuts = cut_buf
+        self._sorted = flag_buf
+        self._k = total
+        self._cache_addresses()
+        self._max_dirty = True
+        self._version += 1
 
     def piece_index_for_value(self, value: float) -> int:
         """Index of the piece whose value interval contains ``value``."""
@@ -302,6 +398,7 @@ class PieceMap:
         self._pivots[i] = pivot
         self._cuts[i] = position
         self._k = k + 1
+        self._version += 1
         self._max_track_split(
             right_bound - left_bound, position - left_bound
         )
@@ -373,6 +470,7 @@ class PieceMap:
                 f"[0, {self.piece_count})"
             )
         self._sorted[piece_index] = True
+        self._version += 1
 
     def mark_unsorted(self, piece_index: int) -> None:
         """Clear a piece's sorted flag (after in-piece insertions).
@@ -386,6 +484,7 @@ class PieceMap:
                 f"[0, {self.piece_count})"
             )
         self._sorted[piece_index] = False
+        self._version += 1
 
     def is_piece_sorted(self, piece_index: int) -> bool:
         if piece_index < 0 or piece_index >= self.piece_count:
@@ -430,6 +529,7 @@ class PieceMap:
             if i < k:
                 self._cuts[i:k] += delta
         self._n += delta
+        self._version += 1
 
     def apply_deltas(self, deltas: list[int]) -> None:
         """Grow/shrink each piece by ``deltas[i]`` rows, shifting cuts.
@@ -461,6 +561,7 @@ class PieceMap:
             self._cuts[:k] += shifts[:k]
         self._n += int(shifts[-1])
         self._max_dirty = True
+        self._version += 1
 
     # -- validation ----------------------------------------------------
 

@@ -96,12 +96,26 @@ class CrackTape:
         self._stalls: dict[int | None, int] = {}
         self._lock = threading.Lock()
         self._tls = threading.local()
+        #: Until some thread takes attribution (or a worker pool marks
+        #: the tape), every append happens on one thread and the lock
+        #: is skipped -- one less acquire/release per crack.
+        self._concurrent = False
+
+    def mark_concurrent(self) -> None:
+        """Switch appends to the locked path (worker threads ahead).
+
+        One-way: once concurrent, always concurrent.  Called by the
+        tuning worker pool on construction and implicitly by
+        :meth:`attribution`.
+        """
+        self._concurrent = True
 
     # -- worker attribution --------------------------------------------
 
     @contextmanager
     def attribution(self, worker: int | None) -> Iterator[None]:
         """Attribute records made by this thread to ``worker``."""
+        self._concurrent = True
         previous = getattr(self._tls, "worker", None)
         self._tls.worker = worker
         try:
@@ -161,6 +175,20 @@ class CrackTape:
         constructed.  Returns the raw stored tuple, or ``None`` when
         the sampling mode dropped it (counters are updated regardless).
         """
+        if not self._concurrent:
+            # Single-threaded fast path: no attribution is possible
+            # (taking one flips the flag), so ``worker`` stands as
+            # given and the lock is unnecessary.
+            raw = (timestamp, origin, pivot, position, piece_size, worker)
+            self._counts[origin.value] += 1
+            self._seen += 1
+            if (
+                self.sample_every != 1
+                and (self._seen - 1) % self.sample_every
+            ):
+                return None
+            self._records.append(raw)
+            return raw
         if worker is None:
             worker = getattr(self._tls, "worker", None)
         raw = (timestamp, origin, pivot, position, piece_size, worker)

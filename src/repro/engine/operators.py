@@ -51,20 +51,42 @@ def multiset_difference(
 ) -> np.ndarray:
     """Remove one occurrence per entry of ``removals`` from ``values``.
 
-    Order of the surviving values is preserved.  Removal entries with
-    no match are ignored.
+    Order of the surviving values is preserved, and for each removal
+    value the *earliest* occurrences are dropped.  Removal entries
+    with no match are ignored.  Vectorized (ISSUE 4): a stable argsort
+    aligns equal values, ``searchsorted`` finds each removal value's
+    run, and a difference-array marks the first ``count`` entries of
+    every run -- no Python-level loop over the data.
     """
     if len(removals) == 0 or len(values) == 0:
         return values
-    remaining: dict[float, int] = {}
-    for value in removals.tolist():
-        remaining[value] = remaining.get(value, 0) + 1
+    if len(removals) <= 8:
+        # Trickle-sized removal sets: one equality scan per distinct
+        # value beats the argsort/unique machinery below.
+        counts: dict[float, int] = {}
+        for removal in removals.tolist():
+            counts[removal] = counts.get(removal, 0) + 1
+        keep = np.ones(len(values), dtype=bool)
+        for removal, count in counts.items():
+            hits = np.flatnonzero(values == removal)
+            if len(hits):
+                keep[hits[:count]] = False
+        return values[keep]
+    order = np.argsort(values, kind="stable")
+    values_sorted = values[order]
+    unique_removals, removal_counts = np.unique(removals, return_counts=True)
+    run_start = np.searchsorted(values_sorted, unique_removals, side="left")
+    run_end = np.searchsorted(values_sorted, unique_removals, side="right")
+    kill = np.minimum(removal_counts, run_end - run_start)
+    # Mark positions [run_start, run_start + kill) in the sorted domain
+    # via a +1/-1 difference array; stable argsort makes those the
+    # earliest original occurrences of each value.
+    bounds = np.zeros(len(values) + 1, dtype=np.int64)
+    np.add.at(bounds, run_start, 1)
+    np.add.at(bounds, run_start + kill, -1)
+    removed_sorted = np.cumsum(bounds[:-1]) > 0
     keep = np.ones(len(values), dtype=bool)
-    for i, value in enumerate(values.tolist()):
-        budget = remaining.get(value, 0)
-        if budget > 0:
-            keep[i] = False
-            remaining[value] = budget - 1
+    keep[order[removed_sorted]] = False
     return values[keep]
 
 
@@ -87,15 +109,100 @@ def apply_pending(
     deletes = pending.deletes_in_range(low, high)
     if len(inserts) == 0 and len(deletes) == 0:
         return result
+    values = _merged_values(result, inserts, deletes)
+    clock.charge(CostCharge.for_pending_merge(len(deletes), len(values)))
+    return MaterializedResult(values)
+
+
+def _merged_values(
+    result: SelectionResult,
+    inserts: np.ndarray,
+    deletes: np.ndarray,
+) -> np.ndarray:
+    """Fold in-range pending entries into ``result``'s values.
+
+    The one shared merge kernel behind both the sequential
+    :func:`apply_pending` and the batched :class:`PendingWindow` --
+    only the charge sink differs between the callers.
+    """
     values = result.values()
     if len(deletes):
         values = multiset_difference(values, deletes)
     if len(inserts):
         values = np.concatenate([values, inserts.astype(values.dtype)])
-    clock.charge(
-        CostCharge(
-            comparisons=max(1, len(deletes)),
-            elements_materialized=len(values),
-        )
+    return values
+
+
+class PendingWindow:
+    """One column's pending-update consultation for a query window.
+
+    Sequential execution probes the delta store four times per query
+    (two ``searchsorted`` each for inserts and deletes); a window
+    precomputes all slice bounds with four vectorized calls and hands
+    each query its ready-made slices.  Charges are emitted per query
+    through :meth:`apply` and are identical to sequential
+    :func:`apply_pending` calls.
+    """
+
+    __slots__ = (
+        "_pending",
+        "_active",
+        "_ins_lo",
+        "_ins_hi",
+        "_del_lo",
+        "_del_hi",
+        "_inserts",
+        "_deletes",
+        "_overlaps",
     )
-    return MaterializedResult(values)
+
+    def __init__(
+        self,
+        pending: PendingUpdates,
+        lows: np.ndarray,
+        highs: np.ndarray,
+    ) -> None:
+        self._pending = pending
+        self._active = pending.has_pending()
+        if not self._active:
+            return
+        inserts = pending.insert_values
+        deletes = pending.deleted_values
+        self._inserts = inserts
+        self._deletes = deletes
+        self._ins_lo = inserts.searchsorted(lows, side="left")
+        self._ins_hi = inserts.searchsorted(highs, side="left")
+        self._del_lo = deletes.searchsorted(lows, side="left")
+        self._del_hi = deletes.searchsorted(highs, side="left")
+        self._overlaps = (self._ins_hi > self._ins_lo) | (
+            self._del_hi > self._del_lo
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether this column has any pending entries to consult."""
+        return self._active
+
+    def overlapping_slots(self) -> np.ndarray:
+        """Boolean mask: which window entries touch a pending entry.
+
+        Entries outside every pending value range skip :meth:`apply`
+        entirely, like the sequential path's empty-slice early return.
+        """
+        return self._overlaps
+
+    def apply(
+        self, slot: int, result: SelectionResult, accountant
+    ) -> SelectionResult:
+        """Correct the ``slot``-th window query's result, charging the
+        window accountant as sequential :func:`apply_pending` would
+        charge the clock."""
+        if not self._active:
+            return result
+        inserts = self._inserts[self._ins_lo[slot] : self._ins_hi[slot]]
+        deletes = self._deletes[self._del_lo[slot] : self._del_hi[slot]]
+        if len(inserts) == 0 and len(deletes) == 0:
+            return result
+        values = _merged_values(result, inserts, deletes)
+        accountant.charge_pending_merge(len(deletes), len(values))
+        return MaterializedResult(values)

@@ -10,9 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Sequence
+
+import numpy as np
 
 from repro.engine.query import RangeQuery
 from repro.simtime.model import CostModel
+from repro.storage.catalog import ColumnRef
 
 
 class AccessPath(Enum):
@@ -41,6 +45,60 @@ class PlannedQuery:
             f"{self.path.value.upper():>14}  "
             f"est={self.estimated_s * 1e3:10.4f} ms  {self.query}{note}"
         )
+
+
+@dataclass(slots=True)
+class ColumnWindow:
+    """One column's share of a batched query window.
+
+    The group plan of ISSUE 4: a window of range queries is planned
+    once per column -- ``indices`` are the window slots (positions in
+    the original query list, in order) and ``lows``/``highs`` the
+    predicate bounds aligned with them, ready for vectorized
+    consumption (shared cracking passes, batched pending-update
+    probes).
+    """
+
+    ref: ColumnRef
+    indices: list[int]
+    lows: np.ndarray
+    highs: np.ndarray
+
+    @property
+    def query_count(self) -> int:
+        return len(self.indices)
+
+
+def group_by_column(queries: Sequence[RangeQuery]) -> list[ColumnWindow]:
+    """Group a query window by column, preserving window order.
+
+    Returns one :class:`ColumnWindow` per distinct column, in order of
+    first appearance; each window's entries keep their original
+    relative order, so per-column replays interleave back into the
+    sequential execution order exactly.
+    """
+    # Keyed by the raw (table, column) pair: hashing the tuple of
+    # interned strings skips the generated ColumnRef.__hash__ frame on
+    # this per-query path.
+    grouped: dict[tuple, tuple] = {}
+    for i, query in enumerate(queries):
+        ref = query.ref
+        key = (ref.table, ref.column)
+        group = grouped.get(key)
+        if group is None:
+            group = grouped[key] = (ref, [], [], [])
+        group[1].append(i)
+        group[2].append(query.low)
+        group[3].append(query.high)
+    return [
+        ColumnWindow(
+            ref,
+            indices,
+            np.array(lows, dtype=np.float64),
+            np.array(highs, dtype=np.float64),
+        )
+        for ref, indices, lows, highs in grouped.values()
+    ]
 
 
 def estimate_path_cost(

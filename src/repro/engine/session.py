@@ -18,8 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine.operators import apply_pending
-from repro.engine.plan import PlannedQuery
+from typing import Sequence
+
+from repro.engine.operators import PendingWindow, apply_pending
+from repro.engine.plan import PlannedQuery, group_by_column
 from repro.engine.query import RangeQuery
 from repro.engine.strategies import (
     AdaptiveStrategy,
@@ -30,15 +32,22 @@ from repro.engine.strategies import (
 )
 from repro.errors import ConfigError
 from repro.offline.whatif import WorkloadStatement
+from repro.simtime.accounting import make_accountant
 from repro.simtime.charge import CostCharge
 from repro.storage.catalog import ColumnRef
 from repro.storage.database import Database
 from repro.storage.views import SelectionResult
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class QueryRecord:
-    """One answered query with its timing."""
+    """One answered query with its timing.
+
+    Treated as immutable by convention; not ``frozen`` because the
+    frozen-dataclass ``__init__`` (one ``object.__setattr__`` per
+    field) costs more than the rest of the per-query bookkeeping on
+    the hot path.
+    """
 
     sequence: int
     query: RangeQuery
@@ -49,9 +58,10 @@ class QueryRecord:
     finished_at: float
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class IdleRecord:
-    """One idle window as the session saw it."""
+    """One idle window as the session saw it (immutable by
+    convention, like :class:`QueryRecord`)."""
 
     sequence: int
     nominal_s: float
@@ -142,6 +152,104 @@ class Session:
             )
         )
         return result
+
+    def run_batch(
+        self, queries: Sequence[RangeQuery]
+    ) -> list[SelectionResult]:
+        """Answer a window of range queries with shared work.
+
+        The window is grouped by column and planned once per group;
+        strategies that support it (scan, standard adaptive cracking,
+        the holistic kernel) execute each group's physical work in one
+        batched pass and *replay* the per-query accounting, so every
+        query still gets its own :class:`QueryRecord` and the results,
+        response times, cumulative clock totals and tape contents are
+        identical to calling :meth:`run_query` one query at a time.
+        Strategies without a batch path fall back to exactly that
+        sequential loop.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        windows = group_by_column(queries)
+        # Resolve every window's column BEFORE the strategy's physical
+        # pass: an unknown table/column must fail here, while nothing
+        # has been cracked yet, or the already-processed columns would
+        # carry silent (uncharged, unlogged) cracks and break
+        # batch==sequential equivalence for the rest of the session.
+        for window in windows:
+            self.db.catalog.column(window.ref)
+        execution = self.strategy.begin_batch(queries, windows)
+        if execution is None:
+            return [self.run_query(query) for query in queries]
+        # One pending-updates consultation per column: slice bounds
+        # for every window entry come from four vectorized searches,
+        # and entries outside every pending range skip the per-query
+        # merge entirely (the sequential path's has_pending() early
+        # return).
+        pending_slots: list[tuple[PendingWindow, int] | None] = (
+            [None] * len(queries)
+        )
+        for window in windows:
+            pending = self.db.catalog.table(window.ref.table).updates_for(
+                window.ref.column
+            )
+            pending_window = PendingWindow(
+                pending, window.lows, window.highs
+            )
+            if pending_window.active:
+                overlaps = pending_window.overlapping_slots()
+                for slot, i in enumerate(window.indices):
+                    if overlaps[slot]:
+                        pending_slots[i] = (pending_window, slot)
+        # The window accountant prices every charge inline (same
+        # arithmetic, same left-fold order as per-event clock charges,
+        # so all timestamps stay bit-identical) and settles time plus
+        # work counters on the clock once at window end.
+        accountant = make_accountant(self.clock)
+        execution.bind(accountant)
+        # Executions with no per-query bookkeeping of their own expose
+        # bound per-slot callables; calling them directly skips one
+        # dispatch frame per query.  Either way the execution owns the
+        # whole per-query charge stream, including the
+        # CostCharge(queries=1) overhead run_query charges up front.
+        fast_dispatch = getattr(execution, "fast_dispatch", None)
+        replay = execution.replay
+        records = self.report.queries
+        append_record = records.append
+        results: list[SelectionResult] = []
+        append_result = results.append
+        sequence = len(records)
+        for i, query in enumerate(queries):
+            started = accountant.now
+            if fast_dispatch is not None:
+                result = fast_dispatch[i](query.low, query.high)
+            else:
+                result = replay(i, query)
+            slotted = pending_slots[i]
+            if slotted is not None:
+                result = slotted[0].apply(slotted[1], result, accountant)
+            finished = accountant.now
+            wait = self._pending_wait_s
+            self._pending_wait_s = 0.0
+            response = (finished - started) + wait
+            self._cumulative_s += response
+            sequence += 1
+            append_record(
+                QueryRecord(
+                    sequence=sequence,
+                    query=query,
+                    response_s=response,
+                    wait_s=wait,
+                    result_count=result.count,
+                    cumulative_response_s=self._cumulative_s,
+                    finished_at=finished,
+                )
+            )
+            append_result(result)
+        accountant.finish()
+        execution.finish()
+        return results
 
     def explain(
         self, table: str, column: str, low: float, high: float

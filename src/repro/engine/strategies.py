@@ -12,12 +12,15 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
 
 from repro.cracking.index import CrackerIndex
 from repro.cracking.hybrid import HybridCrackSortIndex
 from repro.cracking.stochastic import StochasticCrackerIndex
 from repro.engine.operators import scan_select
-from repro.engine.plan import AccessPath
+from repro.engine.plan import AccessPath, ColumnWindow
 from repro.engine.query import RangeQuery
 from repro.errors import ConfigError
 from repro.offline.advisor import OfflineAdvisor
@@ -28,7 +31,7 @@ from repro.online.epoch import EpochManager
 from repro.online.monitor import WorkloadMonitor
 from repro.online.soft_index import SoftIndexManager
 from repro.storage.database import Database
-from repro.storage.views import SelectionResult
+from repro.storage.views import PositionsView, SelectionResult
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,6 +61,36 @@ class IdleOutcome:
     note: str = ""
 
 
+class BatchExecution(Protocol):
+    """A strategy's shared-work plan for one window of queries.
+
+    The session drives it one query at a time, in window order: each
+    :meth:`replay` call must emit exactly the clock charges (and tape
+    records, where applicable) that a sequential ``select`` of that
+    query would have produced at that point, so per-query accounting
+    survives batching bit-for-bit.  :meth:`finish` flushes deferred
+    bookkeeping (monitor/ranking updates) once the window is done.
+    """
+
+    def bind(self, accountant) -> None:
+        """Route the window's charges through the session's accountant
+        (see :mod:`repro.simtime.accounting`)."""
+        ...
+
+    def replay(self, slot: int, query: RangeQuery) -> SelectionResult:
+        """Account for the ``slot``-th window query; return its result.
+
+        Owns the query's whole charge stream, starting with the
+        ``CostCharge(queries=1)`` per-query overhead the sequential
+        session loop charges before dispatching to the strategy.
+        """
+        ...
+
+    def finish(self) -> None:
+        """Flush deferred end-of-window bookkeeping."""
+        ...
+
+
 class IndexingStrategy(ABC):
     """Common interface of all indexing approaches."""
 
@@ -70,6 +103,20 @@ class IndexingStrategy(ABC):
     @abstractmethod
     def select(self, query: RangeQuery) -> SelectionResult:
         """Answer one range query (refining indexes if applicable)."""
+
+    def begin_batch(
+        self,
+        queries: Sequence[RangeQuery],
+        windows: list[ColumnWindow],
+    ) -> BatchExecution | None:
+        """Start a shared-work execution of a query window.
+
+        Strategies that can amortize a window return a
+        :class:`BatchExecution`; the default ``None`` tells the
+        session to fall back to sequential ``run`` calls (which is
+        always semantically equivalent).
+        """
+        return None
 
     @abstractmethod
     def features(self) -> StrategyFeatures:
@@ -91,14 +138,124 @@ class IndexingStrategy(ABC):
         return IdleOutcome(note="idle time not exploitable")
 
 
+class _ScanBatchExecution:
+    """Shared scan pass: one sorted projection answers every predicate.
+
+    Sequential scanning compares every element against every query; a
+    window shares one sorted projection of the column (cached on the
+    strategy across windows -- base columns are immutable) and answers
+    each predicate with two binary searches.  Positions come back
+    ascending, exactly like the sequential ``flatnonzero`` mask, and
+    each replay emits the sequential scan charge verbatim.
+    """
+
+    __slots__ = ("_acc", "_contexts")
+
+    def __init__(
+        self,
+        strategy: "ScanStrategy",
+        queries: Sequence[RangeQuery],
+        windows: list[ColumnWindow],
+    ) -> None:
+        self._acc = None
+        self._contexts: list[tuple] = [None] * len(queries)
+        for window in windows:
+            column = strategy.db.catalog.column(window.ref)
+            values, order, sorted_values = strategy._sorted_projection(
+                window.ref, column
+            )
+            lo = np.searchsorted(sorted_values, window.lows, side="left")
+            hi = np.searchsorted(sorted_values, window.highs, side="left")
+            for slot, i in enumerate(window.indices):
+                self._contexts[i] = (values, order, int(lo[slot]), int(hi[slot]))
+
+    def bind(self, accountant) -> None:
+        self._acc = accountant
+
+    def replay(self, slot: int, query: RangeQuery) -> SelectionResult:
+        values, order, lo, hi = self._contexts[slot]
+        positions = np.sort(order[lo:hi])
+        self._acc.charge_scan_query(len(values), len(positions))
+        return PositionsView(values, positions)
+
+    def finish(self) -> None:
+        return None
+
+
+class CrackerBatchExecution:
+    """Shared cracking for a window over plain cracker indexes.
+
+    One :meth:`CrackerIndex.begin_select_batch` physical pass per
+    column cracks every bound of the window up front; per-query
+    replays then emit the sequential charge/tape stream (see
+    :mod:`repro.cracking.batch`).  Used by the adaptive strategy and,
+    with monitor/ranking deferral on top, by the holistic kernel.
+    """
+
+    __slots__ = ("fast_dispatch", "_contexts")
+
+    def __init__(
+        self,
+        indexes,
+        queries: Sequence[RangeQuery],
+        windows: list[ColumnWindow],
+    ) -> None:
+        #: Per-slot bound replay callables taking ``(low, high)``;
+        #: sessions may call these directly, skipping one frame per
+        #: query (see :meth:`Session.run_batch`).  Each owns the
+        #: per-query overhead charge.
+        self.fast_dispatch: list = [None] * len(queries)
+        self._contexts: list = []
+        for index, window in zip(indexes, windows):
+            context = index.begin_select_batch(window.lows, window.highs)
+            self._contexts.append(context)
+            replay = context.replay_query  # bound once; called per query
+            for i in window.indices:
+                self.fast_dispatch[i] = replay
+
+    def bind(self, accountant) -> None:
+        for context in self._contexts:
+            context.bind(accountant)
+
+    def replay(self, slot: int, query: RangeQuery) -> SelectionResult:
+        return self.fast_dispatch[slot](query.low, query.high)
+
+    def finish(self) -> None:
+        return None
+
+
 class ScanStrategy(IndexingStrategy):
     """No indexing at all: every select is a full scan."""
 
     name = "scan"
 
+    def __init__(self, db: Database) -> None:
+        super().__init__(db)
+        # ref -> (values array, argsort order, sorted values); rebuilt
+        # when a column's value array is replaced (arrays themselves
+        # are immutable -- Column marks them read-only).
+        self._projections: dict[object, tuple] = {}
+
     def select(self, query: RangeQuery) -> SelectionResult:
         column = self.db.catalog.column(query.ref)
         return scan_select(column.values, query.low, query.high, self.clock)
+
+    def _sorted_projection(self, ref, column) -> tuple:
+        cached = self._projections.get(ref)
+        if cached is not None and cached[0] is column.values:
+            return cached
+        values = column.values
+        order = np.argsort(values, kind="stable")
+        projection = (values, order, values[order])
+        self._projections[ref] = projection
+        return projection
+
+    def begin_batch(
+        self,
+        queries: Sequence[RangeQuery],
+        windows: list[ColumnWindow],
+    ) -> BatchExecution | None:
+        return _ScanBatchExecution(self, queries, windows)
 
     def features(self) -> StrategyFeatures:
         return StrategyFeatures(
@@ -157,10 +314,10 @@ class AdaptiveStrategy(IndexingStrategy):
         self.stop_piece_size = stop_piece_size
         self.indexes: dict[object, object] = {}
 
-    def _index_for(self, query: RangeQuery):
-        index = self.indexes.get(query.ref)
+    def _index_for(self, ref):
+        index = self.indexes.get(ref)
         if index is None:
-            column = self.db.catalog.column(query.ref)
+            column = self.db.catalog.column(ref)
             if self.variant == "standard":
                 index = CrackerIndex(
                     column,
@@ -178,11 +335,33 @@ class AdaptiveStrategy(IndexingStrategy):
                     clock=self.clock,
                     track_rowids=self.track_rowids,
                 )
-            self.indexes[query.ref] = index
+            self.indexes[ref] = index
         return index
 
     def select(self, query: RangeQuery) -> SelectionResult:
-        return self._index_for(query).select_range(query.low, query.high)
+        return self._index_for(query.ref).select_range(
+            query.low, query.high
+        )
+
+    def begin_batch(
+        self,
+        queries: Sequence[RangeQuery],
+        windows: list[ColumnWindow],
+    ) -> BatchExecution | None:
+        """Shared cracking per column; ``standard`` cracking only.
+
+        Stochastic and hybrid variants keep their own per-query
+        refinement decisions (random auxiliary cracks, merge steps)
+        that depend on execution order, so they fall back to the
+        sequential path.
+        """
+        if self.variant != "standard":
+            return None
+        return CrackerBatchExecution(
+            (self._index_for(window.ref) for window in windows),
+            queries,
+            windows,
+        )
 
     def access_path(self, query: RangeQuery) -> AccessPath:
         if self.variant == "hybrid":

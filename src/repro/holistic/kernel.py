@@ -18,12 +18,16 @@ extra random cracks injected during query processing itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.cracking.index import CrackerIndex
 from repro.cracking.tape import CrackTape
 from repro.engine.plan import AccessPath
 from repro.engine.query import RangeQuery
+from repro.engine.plan import ColumnWindow
 from repro.engine.strategies import (
+    BatchExecution,
+    CrackerBatchExecution,
     IdleOutcome,
     IndexingStrategy,
     StrategyFeatures,
@@ -229,6 +233,28 @@ class HolisticKernel(IndexingStrategy):
         self._maybe_boost_hot_range(query, index)
         return result
 
+    def begin_batch(
+        self,
+        queries: Sequence[RangeQuery],
+        windows: list[ColumnWindow],
+    ) -> BatchExecution | None:
+        """Shared cracking per column plus deferred bookkeeping.
+
+        Ineligible -- falling back to sequential execution -- when
+        tuning workers are racing foreground queries (selects must go
+        through piece latches) or the no-idle hot boost is active
+        (boost cracks mid-window change what later queries see, so
+        their order must stay sequential).
+        """
+        if self.worker_pool is not None and self.worker_pool.is_running:
+            return None
+        if (
+            self.config.hot_column_threshold > 0
+            and self.config.hot_boost_cracks > 0
+        ):
+            return None
+        return _HolisticBatchExecution(self, queries, windows)
+
     def _maybe_boost_hot_range(
         self, query: RangeQuery, index: CrackerIndex
     ) -> None:
@@ -368,3 +394,74 @@ class HolisticKernel(IndexingStrategy):
     def tuning_summary(self) -> TuningReport:
         """Lifetime tuning statistics across all idle windows."""
         return self.scheduler.lifetime
+
+
+class _HolisticBatchExecution:
+    """Window execution for the kernel: shared cracks, deferred stats.
+
+    The crack replay is the shared :class:`CrackerBatchExecution`; the
+    kernel's continuous statistics -- monitor observations and ranking
+    query counts -- are collected with their exact sequential
+    timestamps during the replay and applied in one vectorized
+    :meth:`WorkloadMonitor.note_many` / :meth:`ColumnRanking.note_queries`
+    pass per column at window end.  Nothing reads them mid-window
+    (the hot boost, the only mid-query reader, disables batching), so
+    the deferred state is indistinguishable from sequential updates.
+    """
+
+    __slots__ = (
+        "_kernel",
+        "_windows",
+        "_cracks",
+        "_dispatch",
+        "_timestamps",
+        "_acc",
+    )
+
+    def __init__(
+        self,
+        kernel: HolisticKernel,
+        queries: Sequence[RangeQuery],
+        windows: list[ColumnWindow],
+    ) -> None:
+        self._kernel = kernel
+        self._windows = windows
+        cracks = CrackerBatchExecution(
+            (kernel.index_for(window.ref) for window in windows),
+            queries,
+            windows,
+        )
+        # Fuse the timestamp capture with the crack replay: per slot,
+        # (post-overhead crack replay, this column's timestamp
+        # appender).  The wrapper charges the per-query overhead
+        # itself, *before* the timestamp -- the sequential order
+        # (session charges, then the kernel records the observation).
+        self._dispatch: list = [None] * len(queries)
+        self._timestamps: list[list[float]] = []
+        for window, context in zip(windows, cracks._contexts):
+            timestamps: list[float] = []
+            self._timestamps.append(timestamps)
+            note_timestamp = timestamps.append
+            for i in window.indices:
+                self._dispatch[i] = (context.replay, note_timestamp)
+        self._cracks = cracks
+        self._acc = None
+
+    def bind(self, accountant) -> None:
+        self._acc = accountant
+        self._cracks.bind(accountant)
+
+    def replay(self, slot: int, query: RangeQuery) -> SelectionResult:
+        acc = self._acc
+        acc.charge_query()
+        crack_replay, note_timestamp = self._dispatch[slot]
+        note_timestamp(acc.now)
+        return crack_replay(query.low, query.high)
+
+    def finish(self) -> None:
+        kernel = self._kernel
+        for window, timestamps in zip(self._windows, self._timestamps):
+            kernel.monitor.note_many(
+                window.ref, window.lows, window.highs, timestamps
+            )
+            kernel.ranking.note_queries(window.ref, len(timestamps))

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cracking.index import CrackerIndex
 from repro.errors import ConfigError
 from repro.storage.catalog import ColumnRef
@@ -93,6 +95,16 @@ class ColumnRanking:
         if state is not None:
             state.queries_seen += 1
 
+    def note_queries(self, ref: ColumnRef, count: int) -> None:
+        """Record ``count`` queries on ``ref`` in one step.
+
+        The batched form of :meth:`note_query` used by windowed
+        execution: one bookkeeping update per column per window.
+        """
+        state = self._states.get(ref)
+        if state is not None:
+            state.queries_seen += count
+
     def note_tuning_action(self, ref: ColumnRef) -> None:
         state = self._states.get(ref)
         if state is not None:
@@ -119,18 +131,58 @@ class ColumnRanking:
         return frequency_weight * avg
 
     def ranked(self) -> list[tuple[ColumnTuningState, float]]:
-        """All candidates with positive score, best first."""
-        scored = [
-            (state, self.score(state)) for state in self._states.values()
+        """All candidates with positive score, best first.
+
+        Vectorized (ISSUE 4): the per-column signals are gathered into
+        numpy score arrays and ranked with one ``argsort`` instead of
+        a Python tuple sort -- one re-rank per idle decision stays
+        cheap even with thousands of candidate columns.  Scores and
+        tie order match the scalar :meth:`score` path exactly.
+        """
+        states = list(self._states.values())
+        if not states:
+            return []
+        count = len(states)
+        averages = np.fromiter(
+            (state.average_piece_size() for state in states),
+            dtype=np.float64,
+            count=count,
+        )
+        frequency = np.fromiter(
+            (
+                state.queries_seen + state.workload_weight
+                for state in states
+            ),
+            dtype=np.float64,
+            count=count,
+        )
+        scores = np.where(
+            averages <= self.cache_target_elements,
+            0.0,
+            frequency * averages,
+        )
+        # Stable descending sort keeps registration order among ties,
+        # like the Python sort it replaces.
+        order = np.argsort(-scores, kind="stable")
+        return [
+            (states[i], float(scores[i]))
+            for i in order
+            if scores[i] > 0
         ]
-        scored = [(s, v) for s, v in scored if v > 0]
-        scored.sort(key=lambda pair: pair[1], reverse=True)
-        return scored
 
     def best(self) -> ColumnTuningState | None:
         """The most deserving column, or None when all are refined."""
         ranked = self.ranked()
         return ranked[0][0] if ranked else None
+
+    def unrefined_states(self) -> list[ColumnTuningState]:
+        """Candidates still short of the cache-fit optimum, in
+        registration order."""
+        return [
+            state
+            for state in self._states.values()
+            if not self.is_refined(state)
+        ]
 
     def refined_count(self) -> int:
         """How many candidates reached the cache-fit optimum."""

@@ -129,11 +129,7 @@ class IdleScheduler:
             raise ConfigError(f"actions must be >= 0, got {actions}")
         report = TuningReport()
         start = self.clock.now()
-        candidates = [
-            state
-            for state in self.ranking.states()
-            if not self.ranking.is_refined(state)
-        ]
+        candidates = self.ranking.unrefined_states()
         if not candidates or actions == 0:
             report.stop_reason = (
                 "all candidates refined" if not candidates else

@@ -118,6 +118,8 @@ class TuningWorkerPool:
             )
         self.clock = clock
         self.tape = tape
+        # Worker threads will share this tape: appends must lock.
+        tape.mark_concurrent()
         self.ranking = ranking
         self.policy = policy
         self.num_workers = num_workers

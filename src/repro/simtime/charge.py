@@ -73,16 +73,28 @@ class CostCharge:
     def __iadd__(self, other: "CostCharge") -> "CostCharge":
         if not isinstance(other, CostCharge):
             return NotImplemented
-        self.elements_scanned += other.elements_scanned
-        self.elements_cracked += other.elements_cracked
-        self.elements_sorted += other.elements_sorted
-        self.elements_merged += other.elements_merged
-        self.elements_materialized += other.elements_materialized
-        self.comparisons += other.comparisons
-        self.seeks += other.seeks
-        self.pieces_touched += other.pieces_touched
-        self.queries += other.queries
-        self.cracks += other.cracks
+        # Zero-skip: accumulation runs once per clock charge and hot
+        # charges carry two or three non-zero fields.
+        if other.elements_scanned:
+            self.elements_scanned += other.elements_scanned
+        if other.elements_cracked:
+            self.elements_cracked += other.elements_cracked
+        if other.elements_sorted:
+            self.elements_sorted += other.elements_sorted
+        if other.elements_merged:
+            self.elements_merged += other.elements_merged
+        if other.elements_materialized:
+            self.elements_materialized += other.elements_materialized
+        if other.comparisons:
+            self.comparisons += other.comparisons
+        if other.seeks:
+            self.seeks += other.seeks
+        if other.pieces_touched:
+            self.pieces_touched += other.pieces_touched
+        if other.queries:
+            self.queries += other.queries
+        if other.cracks:
+            self.cracks += other.cracks
         return self
 
     def copy(self) -> "CostCharge":
@@ -127,6 +139,18 @@ class CostCharge:
         """Charge for a binary search over ``n`` ordered elements."""
         steps = max(1, int(n).bit_length())
         return cls(comparisons=steps, seeks=1)
+
+    @classmethod
+    def for_pending_merge(cls, deletes: int, materialized: int) -> "CostCharge":
+        """Charge for folding pending updates into a query result.
+
+        One comparison per pending delete (minimum one for the range
+        probe) plus the materialization of the corrected result.
+        """
+        return cls(
+            comparisons=max(1, deletes),
+            elements_materialized=materialized,
+        )
 
 
 class ChargeBatch:

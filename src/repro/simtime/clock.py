@@ -126,6 +126,29 @@ class SimClock:
             self.total_charge += charge
         return seconds
 
+    def settle_batch(self, now: float, charge: CostCharge) -> None:
+        """Apply a window accountant's amortized settlement.
+
+        ``now`` must be the left-fold of per-event priced seconds over
+        the current reading (what repeated :meth:`charge` calls would
+        have produced -- see :mod:`repro.simtime.accounting`); the
+        aggregate ``charge`` lands in ``total_charge`` in one update.
+
+        Raises:
+            ConfigError: inside a parallel phase, or if ``now`` runs
+                backwards.
+        """
+        if self._parallel:
+            raise ConfigError(
+                "cannot settle a batch window inside a parallel phase"
+            )
+        if now < self._now:
+            raise ConfigError(
+                f"batch settlement runs time backwards: {now} < {self._now}"
+            )
+        self._now = now
+        self.total_charge += charge
+
     def sleep(self, seconds: float) -> None:
         if seconds < 0:
             raise ConfigError(f"cannot sleep a negative time: {seconds}")

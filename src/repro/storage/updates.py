@@ -37,15 +37,33 @@ class PendingUpdates:
     # -- staging -------------------------------------------------------
 
     def stage_inserts(self, values: object) -> int:
-        """Stage values for insertion; returns how many were staged."""
-        fresh = coerce_array(np.asarray(values), self._ctype)
-        self._insert_values = np.sort(
-            np.concatenate([self._insert_values, fresh])
-        )
+        """Stage values for insertion; returns how many were staged.
+
+        The staged array stays sorted by merging: the fresh batch is
+        sorted on its own (``M log M``) and spliced in with one
+        ``searchsorted`` + ``np.insert`` pass (``N + M``), instead of
+        re-sorting the whole store on every call -- staging ``k``
+        batches is linear per batch, not ``N log N``.
+        """
+        fresh = np.sort(coerce_array(np.asarray(values), self._ctype))
+        if len(fresh) == 0:
+            return 0
+        if len(self._insert_values) == 0:
+            self._insert_values = fresh
+        else:
+            slots = np.searchsorted(self._insert_values, fresh, side="left")
+            self._insert_values = np.insert(
+                self._insert_values, slots, fresh
+            )
         return len(fresh)
 
     def stage_deletes(self, positions: object, values: object) -> int:
         """Stage base-array positions (with their values) for deletion.
+
+        Both arrays are kept aligned and sorted by value across
+        staging batches (the merge splices each batch in, as
+        :meth:`stage_inserts` does), so a range consumption always
+        removes matching (position, value) pairs.
 
         Raises:
             SchemaError: if positions and values differ in length.
@@ -57,13 +75,22 @@ class PendingUpdates:
                 f"positions ({len(pos)}) and values ({len(vals)}) "
                 "must align"
             )
+        if len(pos) == 0:
+            return 0
         order = np.argsort(vals, kind="stable")
-        self._delete_positions = np.concatenate(
-            [self._delete_positions, pos[order]]
-        )
-        self._deleted_values = np.sort(
-            np.concatenate([self._deleted_values, vals])
-        )
+        vals = vals[order]
+        pos = pos[order]
+        if len(self._deleted_values) == 0:
+            self._deleted_values = vals
+            self._delete_positions = pos
+        else:
+            slots = np.searchsorted(self._deleted_values, vals, side="left")
+            self._deleted_values = np.insert(
+                self._deleted_values, slots, vals
+            )
+            self._delete_positions = np.insert(
+                self._delete_positions, slots, pos
+            )
         return len(pos)
 
     # -- inspection ----------------------------------------------------
@@ -75,6 +102,16 @@ class PendingUpdates:
     @property
     def pending_delete_count(self) -> int:
         return len(self._deleted_values)
+
+    @property
+    def insert_values(self) -> np.ndarray:
+        """The staged insert values, sorted (no copy -- do not mutate)."""
+        return self._insert_values
+
+    @property
+    def deleted_values(self) -> np.ndarray:
+        """The staged deleted values, sorted (no copy -- do not mutate)."""
+        return self._deleted_values
 
     def has_pending(self) -> bool:
         return self.pending_insert_count > 0 or self.pending_delete_count > 0

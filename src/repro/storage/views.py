@@ -44,7 +44,7 @@ class RangeView:
     with the value array) when the index maintains one.
     """
 
-    __slots__ = ("_array", "start", "end", "_rowids")
+    __slots__ = ("_array", "start", "end", "_rowids", "count")
 
     def __init__(
         self,
@@ -61,10 +61,10 @@ class RangeView:
         self.start = start
         self.end = end
         self._rowids = rowids
-
-    @property
-    def count(self) -> int:
-        return self.end - self.start
+        #: Eager attribute, not a property: `.count` is read on every
+        #: query result and the property frame costs more than the
+        #: subtraction.
+        self.count = end - start
 
     def values(self) -> np.ndarray:
         return self._array[self.start : self.end]
@@ -81,15 +81,12 @@ class RangeView:
 class PositionsView:
     """Qualifying row positions over a base array (scan-select output)."""
 
-    __slots__ = ("_array", "_positions")
+    __slots__ = ("_array", "_positions", "count")
 
     def __init__(self, array: np.ndarray, positions: np.ndarray) -> None:
         self._array = array
         self._positions = positions
-
-    @property
-    def count(self) -> int:
-        return len(self._positions)
+        self.count = len(positions)
 
     def values(self) -> np.ndarray:
         return self._array[self._positions]
@@ -104,17 +101,14 @@ class PositionsView:
 class MaterializedResult:
     """An already-copied result (e.g. merged with pending updates)."""
 
-    __slots__ = ("_values", "_positions")
+    __slots__ = ("_values", "_positions", "count")
 
     def __init__(
         self, values: np.ndarray, positions: np.ndarray | None = None
     ) -> None:
         self._values = values
         self._positions = positions
-
-    @property
-    def count(self) -> int:
-        return len(self._values)
+        self.count = len(values)
 
     def values(self) -> np.ndarray:
         return self._values

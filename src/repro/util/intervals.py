@@ -61,6 +61,42 @@ class IntervalSet:
         self._lows.insert(first, low)
         self._highs.insert(first, high)
 
+    def add_many(self, ranges: list[tuple[float, float]]) -> None:
+        """Insert many intervals in one merge sweep.
+
+        Equivalent to calling :meth:`add` per range (set union is
+        order-independent and the representation is canonical), but a
+        batch of k ranges costs one sort plus one linear sweep instead
+        of k list splices.
+
+        Raises:
+            QueryError: if any range is inverted.
+        """
+        for low, high in ranges:
+            if low > high:
+                raise QueryError(f"interval inverted: [{low}, {high})")
+        fresh = [r for r in ranges if r[0] < r[1]]
+        if not fresh:
+            return
+        merged = sorted(
+            [*zip(self._lows, self._highs), *fresh]
+        )
+        lows: list[float] = []
+        highs: list[float] = []
+        current_low, current_high = merged[0]
+        for low, high in merged[1:]:
+            if low <= current_high:
+                if high > current_high:
+                    current_high = high
+            else:
+                lows.append(current_low)
+                highs.append(current_high)
+                current_low, current_high = low, high
+        lows.append(current_low)
+        highs.append(current_high)
+        self._lows = lows
+        self._highs = highs
+
     def covers(self, low: float, high: float) -> bool:
         """Whether one stored interval fully contains ``[low, high)``.
 

@@ -1,0 +1,103 @@
+"""The end-to-end queries-per-second bench harness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.e2e import (
+    check_regression,
+    e2e_text,
+    run_e2e,
+    run_e2e_command,
+)
+
+_TINY = dict(rows=2000, queries=48, repeats=1)
+
+
+def _tiny_doc(**overrides):
+    config = {**_TINY, **overrides}
+    return run_e2e(
+        batch_sizes=(1, 8),
+        strategies=("adaptive", "holistic"),
+        **config,
+    )
+
+
+def test_run_e2e_document_shape_and_equivalence():
+    doc = _tiny_doc()
+    assert doc["schema"] == "e2e-v1"
+    assert set(doc["scenarios"]) == {
+        "adaptive/batch1",
+        "adaptive/batch8",
+        "holistic/batch1",
+        "holistic/batch8",
+    }
+    for data in doc["scenarios"].values():
+        assert data["ops"] == 48
+        assert data["throughput"] > 0
+        assert data["fingerprint"]["queries"] == 48
+    # The headline correctness proof: batch == sequential fingerprints.
+    assert doc["batch_equals_sequential"] == {
+        "adaptive": True,
+        "holistic": True,
+    }
+    assert "batch8" in doc["speedup_vs_batch1"]["adaptive"]
+    assert "batch1" in e2e_text(doc)
+
+
+def test_fingerprints_identical_across_batch_sizes():
+    doc = _tiny_doc()
+    for strategy in ("adaptive", "holistic"):
+        batch1 = doc["scenarios"][f"{strategy}/batch1"]["fingerprint"]
+        batch8 = doc["scenarios"][f"{strategy}/batch8"]["fingerprint"]
+        assert batch8 == batch1
+
+
+def test_check_regression_passes_against_self_and_detects_drift():
+    doc = _tiny_doc()
+    assert check_regression(doc, doc) == []
+    slowed = json.loads(json.dumps(doc))
+    slowed["scenarios"]["adaptive/batch8"]["throughput"] = (
+        doc["scenarios"]["adaptive/batch8"]["throughput"] * 3
+    )
+    failures = check_regression(doc, slowed)
+    assert any("throughput regressed" in f for f in failures)
+    diverged = json.loads(json.dumps(doc))
+    diverged["scenarios"]["adaptive/batch1"]["fingerprint"][
+        "state_sha256"
+    ] = "bogus"
+    failures = check_regression(doc, diverged)
+    assert any("fingerprint diverged" in f for f in failures)
+    broken = json.loads(json.dumps(doc))
+    broken["batch_equals_sequential"]["adaptive"] = False
+    failures = check_regression(broken, doc)
+    assert any("diverged from sequential" in f for f in failures)
+
+
+def test_run_e2e_command_writes_output(tmp_path):
+    out = tmp_path / "bench.json"
+    text, exit_code = run_e2e_command(
+        rows=2000,
+        queries=32,
+        seed=7,
+        quick=True,
+        out=str(out),
+        check_path=None,
+        repeats=1,
+    )
+    assert exit_code == 0
+    assert "queries-per-second" in text
+    document = json.loads(out.read_text())
+    assert document["config"]["rows"] == 2000
+    # Round-trip the check gate against the file it just wrote.
+    text, exit_code = run_e2e_command(
+        rows=2000,
+        queries=32,
+        seed=7,
+        quick=True,
+        out=str(tmp_path / "again.json"),
+        check_path=str(out),
+        repeats=1,
+    )
+    assert exit_code == 0
+    assert "gate passed" in text

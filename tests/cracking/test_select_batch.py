@@ -1,0 +1,183 @@
+"""Index-level batched selects: physical pass + accounting replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cracking.engine import crack_in_three, crack_spans_batch
+from repro.cracking.index import CrackerIndex
+from repro.errors import CrackerError, QueryError
+from repro.simtime.clock import SimClock
+from repro.storage.loader import generate_uniform_column
+
+
+def _pair(track_rowids: bool = False, rows: int = 1500, seed: int = 0):
+    column = generate_uniform_column(
+        "A1", rows=rows, low=0, high=5000, seed=seed
+    )
+    sequential = CrackerIndex(
+        column, clock=SimClock(), track_rowids=track_rowids
+    )
+    batched = CrackerIndex(
+        column, clock=SimClock(), track_rowids=track_rowids
+    )
+    return sequential, batched
+
+
+def _assert_identical(sequential: CrackerIndex, batched: CrackerIndex):
+    assert repr(sequential.clock.now()) == repr(batched.clock.now())
+    assert sequential.clock.total_charge == batched.clock.total_charge
+    assert sequential.piece_map.cuts() == batched.piece_map.cuts()
+    assert sequential.piece_map.pivots() == batched.piece_map.pivots()
+    assert (
+        sequential.piece_map.sorted_flags()
+        == batched.piece_map.sorted_flags()
+    )
+    assert [repr(r) for r in sequential.tape.records()] == [
+        repr(r) for r in batched.tape.records()
+    ]
+    sequential.check_invariants()
+    batched.check_invariants()
+
+
+def _ranges(rng, count: int) -> list[tuple[float, float]]:
+    lows = rng.uniform(-100, 5100, size=count)
+    widths = rng.uniform(0, 700, size=count)
+    ranges = [
+        (float(low), float(low + (0 if rng.random() < 0.15 else width)))
+        for low, width in zip(lows, widths)
+    ]
+    if count > 2:
+        ranges[1] = ranges[0]  # duplicated query
+    return ranges
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    rows=st.integers(0, 1500),
+    track=st.booleans(),
+)
+def test_select_batch_replay_equals_sequential_selects(seed, rows, track):
+    rng = np.random.default_rng(seed)
+    sequential, batched = _pair(track, rows, seed)
+    for value in rng.uniform(0, 5000, size=int(rng.integers(0, 4))):
+        sequential.ensure_cut(float(value))
+        batched.ensure_cut(float(value))
+    if sequential.piece_count > 1 and rng.random() < 0.5:
+        piece = int(rng.integers(0, sequential.piece_count))
+        sequential.sort_piece_at(piece)
+        batched.sort_piece_at(piece)
+    from repro.simtime.charge import CostCharge
+
+    for _ in range(3):
+        ranges = _ranges(rng, int(rng.integers(1, 9)))
+        # replay_query owns the session's per-query overhead charge;
+        # mirror the interleaving exactly on the sequential side.
+        expected = []
+        for low, high in ranges:
+            sequential.clock.charge(CostCharge(queries=1))
+            expected.append(sequential.select_range(low, high))
+        lows = np.array([r[0] for r in ranges])
+        highs = np.array([r[1] for r in ranges])
+        context = batched.begin_select_batch(lows, highs)
+        got = [context.replay_query(low, high) for low, high in ranges]
+        context.check_consistent()
+        for view_a, view_b in zip(expected, got):
+            assert (view_a.start, view_a.end) == (view_b.start, view_b.end)
+        _assert_identical(sequential, batched)
+
+
+def test_begin_select_batch_rejects_inverted_ranges():
+    index, _ = _pair()
+    with pytest.raises(QueryError):
+        index.begin_select_batch(np.array([10.0]), np.array([5.0]))
+
+
+def test_replay_cache_reuse_and_invalidation():
+    """Consecutive fully-replayed windows reuse the shadow map; a
+    foreground crack between windows forces a fresh snapshot."""
+    sequential, batched = _pair(rows=1200, seed=3)
+    ranges = [(100.0, 900.0), (2000.0, 2600.0)]
+    lows = np.array([r[0] for r in ranges])
+    highs = np.array([r[1] for r in ranges])
+    context = batched.begin_select_batch(lows, highs)
+    for low, high in ranges:
+        context.replay_query(low, high)
+    assert context.is_complete
+    cached_sim = context.sim
+    follow_up = batched.begin_select_batch(
+        np.array([3000.0]), np.array([3500.0])
+    )
+    assert follow_up.sim is cached_sim  # reused, no snapshot
+    follow_up.replay_query(3000.0, 3500.0)
+    # A foreground crack invalidates the cached shadow map.
+    batched.ensure_cut(4321.0)
+    third = batched.begin_select_batch(
+        np.array([4500.0]), np.array([4600.0])
+    )
+    assert third.sim is not cached_sim
+    third.replay_query(4500.0, 4600.0)
+    third.check_consistent()
+
+
+def test_incomplete_replay_is_not_reused():
+    _, batched = _pair(rows=800, seed=5)
+    context = batched.begin_select_batch(
+        np.array([100.0, 300.0]), np.array([200.0, 400.0])
+    )
+    context.replay_query(100.0, 200.0)  # second entry never replayed
+    assert not context.is_complete
+    fresh = batched.begin_select_batch(
+        np.array([500.0]), np.array([600.0])
+    )
+    assert fresh.sim is not context.sim
+
+
+def test_warm_view_cache_shares_objects_and_survives_windows():
+    _, batched = _pair(rows=1000, seed=9)
+    lows = np.array([100.0, 100.0, 100.0])
+    highs = np.array([700.0, 700.0, 700.0])
+    context = batched.begin_select_batch(lows, highs)
+    context.replay_query(100.0, 700.0)  # cracks: fresh bounds
+    second = context.replay_query(100.0, 700.0)  # warm: both pivots
+    third = context.replay_query(100.0, 700.0)
+    assert third is second  # identical warm slice -> one view object
+    again = batched.begin_select_batch(
+        np.array([100.0]), np.array([700.0])
+    )
+    assert again.replay_query(100.0, 700.0) is second
+
+
+def test_crack_spans_batch_matches_crack_in_three():
+    rng = np.random.default_rng(11)
+    base = rng.integers(0, 10_000, size=6000).astype(np.int64)
+    reference = base.copy()
+    subject = base.copy()
+    bounds = [(0, 1500), (1500, 1600), (1600, 1601), (1601, 1601), (1601, 6000)]
+    tasks = []
+    expected = []
+    for start, end in bounds:
+        view = reference[start:end]
+        low = float(rng.uniform(0, 10_000))
+        high = low if rng.random() < 0.4 else low + float(rng.uniform(0, 3000))
+        tasks.append((start, end, low, high))
+        pos_low, pos_high, _charge = crack_in_three(
+            reference, start, end, low, high
+        )
+        expected.append((pos_low, pos_high))
+    got = crack_spans_batch(subject, tasks)
+    assert got == expected
+    for start, end in bounds:
+        assert sorted(subject[start:end]) == sorted(reference[start:end])
+
+
+def test_crack_spans_batch_validates_overlap_and_inversion():
+    array = np.arange(100, dtype=np.int64)
+    with pytest.raises(CrackerError):
+        crack_spans_batch(array, [(0, 60, 5.0, 9.0), (50, 90, 3.0, 4.0)])
+    with pytest.raises(CrackerError):
+        crack_spans_batch(array, [(0, 60, 9.0, 5.0)])

@@ -97,3 +97,75 @@ def test_apply_pending_out_of_range_deltas_ignored(small_column, pending):
     view = scan_select(small_column.values, 1e7, 3e7, clock)
     corrected = apply_pending(view, pending, 1e7, 3e7, clock)
     assert corrected is view
+
+
+# -- vectorized multiset difference & pending windows (ISSUE 4) ----------
+
+
+def _reference_multiset_difference(values, removals):
+    """The original dict-loop semantics: remove one occurrence per
+    removal entry, earliest occurrences first, order preserved."""
+    import numpy as np
+
+    remaining = {}
+    for value in removals.tolist():
+        remaining[value] = remaining.get(value, 0) + 1
+    keep = np.ones(len(values), dtype=bool)
+    for i, value in enumerate(values.tolist()):
+        budget = remaining.get(value, 0)
+        if budget > 0:
+            keep[i] = False
+            remaining[value] = budget - 1
+    return values[keep]
+
+
+def test_multiset_difference_matches_reference_semantics():
+    import numpy as np
+
+    rng = np.random.default_rng(17)
+    for _ in range(60):
+        values = rng.integers(0, 12, size=int(rng.integers(0, 60)))
+        removals = rng.integers(0, 12, size=int(rng.integers(0, 30)))
+        got = multiset_difference(values, removals)
+        expected = _reference_multiset_difference(values, removals)
+        assert got.tolist() == expected.tolist()
+
+
+def test_pending_window_matches_sequential_apply_pending(tiny_db, a1):
+    import numpy as np
+
+    from repro.engine.operators import PendingWindow
+    from repro.simtime.accounting import WindowAccountant
+    from repro.simtime.clock import SimClock
+
+    pending = tiny_db.table("R").updates_for("A1")
+    rng = np.random.default_rng(23)
+    pending.stage_inserts(rng.integers(0, 100_000_000, size=30))
+    values = tiny_db.column("R", "A1").values
+    positions = rng.integers(0, len(values), size=15)
+    pending.stage_deletes(positions, values[positions])
+
+    lows = rng.uniform(0, 9e7, size=12)
+    highs = lows + rng.uniform(0, 2e7, size=12)
+    window = PendingWindow(pending, lows, highs)
+    assert window.active
+
+    sequential_clock = SimClock()
+    batch_clock = SimClock()
+    accountant = WindowAccountant(batch_clock)
+    overlaps = window.overlapping_slots()
+    for slot, (low, high) in enumerate(zip(lows, highs)):
+        base = scan_select(values, low, high, SimClock())
+        expected = apply_pending(
+            base, pending, low, high, sequential_clock
+        )
+        if overlaps[slot]:
+            got = window.apply(slot, base, accountant)
+        else:
+            got = base
+        assert sorted(got.values().tolist()) == sorted(
+            expected.values().tolist()
+        )
+    accountant.finish()
+    assert repr(batch_clock.now()) == repr(sequential_clock.now())
+    assert batch_clock.total_charge == sequential_clock.total_charge

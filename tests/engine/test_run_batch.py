@@ -1,0 +1,318 @@
+"""Batched execution (ISSUE 4): ``run_batch`` == sequential ``run_query``.
+
+The batched pipeline's contract is *bit-for-bit* accounting
+equivalence: result multisets, per-query response times, cumulative
+clock totals and tape contents must be exactly what one-at-a-time
+execution produces, for every strategy, window size, and pending
+update mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.query import RangeQuery
+from repro.simtime.clock import SimClock, WallClock
+from repro.storage.catalog import ColumnRef
+from repro.storage.database import Database
+from repro.storage.loader import build_paper_table
+
+SPAN = 100_000_000
+
+
+def _database(seed: int, rows: int = 3000, columns: int = 2) -> Database:
+    db = Database(clock=SimClock())
+    db.add_table(build_paper_table(rows=rows, columns=columns, seed=seed))
+    return db
+
+
+def _stage_pending(db: Database, seed: int) -> None:
+    table = db.table("R")
+    rng = np.random.default_rng(seed)
+    for column in ("A1", "A2"):
+        pending = table.updates_for(column)
+        pending.stage_inserts(rng.integers(0, SPAN, size=40))
+        values = db.column("R", column).values
+        positions = rng.integers(0, len(values), size=25)
+        pending.stage_deletes(positions, values[positions])
+
+
+def _workload(seed: int, count: int, columns: int = 2) -> list[RangeQuery]:
+    """Mixed repeated (grid) and fresh (uniform) predicates."""
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0, SPAN * 0.99, 24)
+    queries = []
+    for _ in range(count):
+        ref = ColumnRef("R", f"A{int(rng.integers(1, columns + 1))}")
+        if rng.random() < 0.5:
+            low = float(grid[int(rng.integers(0, len(grid)))])
+        else:
+            low = float(rng.uniform(0, SPAN * 0.98))
+        width = float(rng.uniform(0, SPAN * 0.02))
+        queries.append(RangeQuery(ref, low, low + width))
+    return queries
+
+
+def _run(
+    strategy: str,
+    window: int,
+    data_seed: int,
+    pending: bool = False,
+    count: int = 40,
+    **options,
+):
+    db = _database(data_seed)
+    if pending:
+        _stage_pending(db, data_seed + 7)
+    session = db.session(strategy, **options)
+    queries = _workload(data_seed, count)
+    results = []
+    for start in range(0, len(queries), window):
+        chunk = queries[start : start + window]
+        if window == 1:
+            results.append(session.run_query(chunk[0]))
+        else:
+            results.extend(session.run_batch(chunk))
+    return session, results
+
+
+def _fingerprint(session, results) -> tuple:
+    report = session.report
+    parts = [
+        tuple(repr(r.response_s) for r in report.queries),
+        tuple(repr(r.finished_at) for r in report.queries),
+        tuple(r.result_count for r in report.queries),
+        repr(float(session.clock.now())),
+        repr(session.clock.total_charge),
+        tuple(
+            tuple(np.sort(result.values()).tolist()) for result in results
+        ),
+    ]
+    strategy = session.strategy
+    indexes = getattr(strategy, "indexes", None)
+    if indexes:
+        for ref in sorted(indexes, key=repr):
+            index = indexes[ref]
+            parts.append(tuple(index.piece_map.cuts()))
+            parts.append(tuple(index.piece_map.pivots()))
+            parts.append(tuple(index.piece_map.sorted_flags()))
+            parts.append(
+                tuple(repr(record) for record in index.tape.records())
+            )
+            index.check_invariants()
+    return tuple(parts)
+
+
+STRATEGIES = [
+    ("scan", {}),
+    ("adaptive", {}),
+    ("adaptive", {"track_rowids": True}),
+    ("holistic", {"seed": 5}),
+]
+
+
+@pytest.mark.parametrize("strategy,options", STRATEGIES)
+@pytest.mark.parametrize("pending", [False, True])
+@pytest.mark.parametrize("window", [2, 7, 40])
+def test_run_batch_matches_sequential(strategy, options, pending, window):
+    base_session, base_results = _run(strategy, 1, 31, pending, **options)
+    batch_session, batch_results = _run(
+        strategy, window, 31, pending, **options
+    )
+    assert _fingerprint(batch_session, batch_results) == _fingerprint(
+        base_session, base_results
+    )
+
+
+@pytest.mark.parametrize(
+    "strategy,options",
+    [
+        ("adaptive", {"variant": "mdd1r", "seed": 2}),
+        ("adaptive", {"variant": "hybrid"}),
+        ("online", {}),
+        ("offline", {}),
+    ],
+)
+def test_fallback_strategies_match_sequential(strategy, options):
+    """Strategies without a batch plan fall back to the sequential
+    loop and stay trivially identical."""
+    base_session, base_results = _run(strategy, 1, 13, False, **options)
+    batch_session, batch_results = _run(strategy, 16, 13, False, **options)
+    assert [r.count for r in batch_results] == [
+        r.count for r in base_results
+    ]
+    assert repr(batch_session.clock.now()) == repr(
+        base_session.clock.now()
+    )
+    assert [repr(r.response_s) for r in batch_session.report.queries] == [
+        repr(r.response_s) for r in base_session.report.queries
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    window=st.integers(2, 33),
+    strategy=st.sampled_from(["adaptive", "holistic", "scan"]),
+    pending=st.booleans(),
+)
+def test_property_batch_equals_sequential(seed, window, strategy, pending):
+    options = {"seed": 3} if strategy == "holistic" else {}
+    base_session, base_results = _run(
+        strategy, 1, seed, pending, count=30, **options
+    )
+    batch_session, batch_results = _run(
+        strategy, window, seed, pending, count=30, **options
+    )
+    assert _fingerprint(batch_session, batch_results) == _fingerprint(
+        base_session, base_results
+    )
+
+
+def test_holistic_monitor_and_ranking_state_match():
+    base_session, _ = _run("holistic", 1, 77, count=50, seed=1)
+    batch_session, _ = _run("holistic", 8, 77, count=50, seed=1)
+    base = base_session.strategy
+    batch = batch_session.strategy
+    assert batch.monitor.total_queries == base.monitor.total_queries
+    for ref in base.monitor._activity:
+        a, b = base.monitor._activity[ref], batch.monitor._activity[ref]
+        assert b.query_count == a.query_count
+        assert list(b.recent) == list(a.recent)
+        assert np.array_equal(b.histogram, a.histogram)
+        assert b.coverage.intervals() == a.coverage.intervals()
+    for state in base.ranking.states():
+        other = batch.ranking.state(state.ref)
+        assert other.queries_seen == state.queries_seen
+
+
+def test_wait_debt_charged_to_first_window_query():
+    """A blocking idle overrun becomes waiting time on the next query
+    even when that query arrives inside a batch."""
+
+    def run(window: int):
+        db = _database(3)
+        session = db.session("offline", build_policy="always_build")
+        from repro.offline.whatif import WorkloadStatement
+
+        session.hint_workload(
+            [WorkloadStatement(ColumnRef("R", "A1"), 0.0, SPAN, 5.0)]
+        )
+        session.idle(seconds=1e-9)  # build overruns the tiny window
+        queries = _workload(3, 6)
+        if window == 1:
+            for query in queries:
+                session.run_query(query)
+        else:
+            session.run_batch(queries)
+        return session.report
+
+    base = run(1)
+    batched = run(6)
+    assert batched.queries[0].wait_s == base.queries[0].wait_s
+    assert [repr(r.response_s) for r in batched.queries] == [
+        repr(r.response_s) for r in base.queries
+    ]
+
+    # The batched fast path itself also absorbs pending wait debt on
+    # the window's first query only.
+    def run_adaptive(window: int):
+        db = _database(3)
+        session = db.session("adaptive")
+        session._pending_wait_s = 0.25
+        queries = _workload(3, 6)
+        if window == 1:
+            for query in queries:
+                session.run_query(query)
+        else:
+            session.run_batch(queries)
+        return session.report
+
+    base = run_adaptive(1)
+    batched = run_adaptive(6)
+    assert batched.queries[0].wait_s == 0.25
+    assert all(r.wait_s == 0.0 for r in batched.queries[1:])
+    assert [repr(r.response_s) for r in batched.queries] == [
+        repr(r.response_s) for r in base.queries
+    ]
+
+
+def test_empty_batch_is_a_noop():
+    db = _database(1)
+    session = db.session("adaptive")
+    assert session.run_batch([]) == []
+    assert session.report.query_count == 0
+    assert session.clock.now() == 0.0
+
+
+def test_run_batch_on_wall_clock_counts_charges():
+    """The direct accountant path (no cost model) still tallies the
+    same work counters as sequential execution."""
+    queries = _workload(9, 12)
+
+    def run(window: int):
+        db = Database(clock=WallClock())
+        db.add_table(build_paper_table(rows=2000, columns=2, seed=9))
+        session = db.session("adaptive")
+        if window == 1:
+            for query in queries:
+                session.run_query(query)
+        else:
+            session.run_batch(queries)
+        return session
+
+    base = run(1)
+    batched = run(12)
+    assert batched.clock.total_charge == base.clock.total_charge
+    assert [r.result_count for r in batched.report.queries] == [
+        r.result_count for r in base.report.queries
+    ]
+
+
+def test_interleaved_batches_and_sequential_queries():
+    """Windows and single queries can alternate freely on one session."""
+    db = _database(21)
+    session = db.session("holistic", seed=2)
+    queries = _workload(21, 30)
+    session.run_batch(queries[:10])
+    for query in queries[10:15]:
+        session.run_query(query)
+    session.idle(actions=5)
+    session.run_batch(queries[15:])
+
+    base_db = _database(21)
+    base = base_db.session("holistic", seed=2)
+    for query in queries[:15]:
+        base.run_query(query)
+    base.idle(actions=5)
+    for query in queries[15:]:
+        base.run_query(query)
+
+    assert repr(session.clock.now()) == repr(base.clock.now())
+    assert [repr(r.response_s) for r in session.report.queries] == [
+        repr(r.response_s) for r in base.report.queries
+    ]
+
+
+def test_failed_batch_setup_leaves_no_silent_cracks():
+    """An unknown column anywhere in the window must fail before any
+    physical cracking, keeping earlier columns' indexes untouched."""
+    from repro.errors import SchemaError
+
+    db = _database(3)
+    session = db.session("adaptive")
+    good = RangeQuery(ColumnRef("R", "A1"), 1e6, 2e6)
+    bad = RangeQuery(ColumnRef("R", "NOPE"), 1e6, 2e6)
+    with pytest.raises(Exception):
+        session.run_batch([good, bad])
+    assert session.strategy.indexes == {}
+    assert session.clock.now() == 0.0
+    assert session.report.query_count == 0
+    # The session stays fully usable and bit-identical afterwards.
+    session.run_batch([good])
+    reference = _database(3).session("adaptive")
+    reference.run_query(good)
+    assert repr(session.clock.now()) == repr(reference.clock.now())

@@ -89,3 +89,38 @@ def test_invalid_configuration_rejected(tiny_db):
         WorkloadMonitor(tiny_db.catalog, histogram_bins=0)
     with pytest.raises(ConfigError):
         WorkloadMonitor(tiny_db.catalog, recent_window=0)
+
+
+def test_note_many_equals_sequential_records(tiny_db, a1):
+    import numpy as np
+
+    catalog = tiny_db.catalog
+    ref = a1
+    rng = np.random.default_rng(7)
+    lows = rng.uniform(0, 9e7, size=30)
+    highs = lows + rng.uniform(0, 1e7, size=30)
+    highs[5] = lows[5]  # empty range: histogram untouched, still counted
+    timestamps = np.cumsum(rng.uniform(0, 1, size=30)).tolist()
+
+    sequential = WorkloadMonitor(catalog)
+    for low, high, ts in zip(lows, highs, timestamps):
+        sequential.record(ref, float(low), float(high), float(ts))
+    batched = WorkloadMonitor(catalog)
+    batched.note_many(ref, lows, highs, [float(t) for t in timestamps])
+
+    a = sequential._activity[ref]
+    b = batched._activity[ref]
+    assert b.query_count == a.query_count
+    assert list(b.recent) == list(a.recent)
+    assert np.array_equal(b.histogram, a.histogram)
+    assert b.coverage.intervals() == a.coverage.intervals()
+    assert (b.first_seen, b.last_seen) == (a.first_seen, a.last_seen)
+    assert batched.total_queries == sequential.total_queries
+
+
+def test_note_many_empty_window_is_noop(tiny_db, a1):
+    import numpy as np
+
+    monitor = WorkloadMonitor(tiny_db.catalog)
+    monitor.note_many(a1, np.array([]), np.array([]), [])
+    assert monitor.total_queries == 0

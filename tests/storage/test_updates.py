@@ -74,3 +74,42 @@ def test_duplicate_values_kept_as_multiset(pending):
 def test_insert_dtype_coercion(pending):
     pending.stage_inserts(np.array([1.0, 2.0]))
     assert pending.inserts_in_range(0, 10).dtype == np.int64
+
+
+# -- incremental staging (ISSUE 4) ---------------------------------------
+
+
+def test_stage_inserts_stays_sorted_across_many_batches():
+    import numpy as np
+
+    from repro.storage.dtypes import INT64
+    from repro.storage.updates import PendingUpdates
+
+    pending = PendingUpdates(INT64)
+    rng = np.random.default_rng(5)
+    staged = []
+    for _ in range(12):
+        batch = rng.integers(0, 1000, size=int(rng.integers(0, 9)))
+        pending.stage_inserts(batch)
+        staged.extend(batch.tolist())
+    assert pending.insert_values.tolist() == sorted(staged)
+
+
+def test_stage_deletes_keeps_positions_aligned_across_batches():
+    """Interleaved delete batches must keep (position, value) pairs
+    aligned under the sorted-by-value order, so range consumption
+    removes matching pairs (regression: the old full re-sort appended
+    positions out of order)."""
+    import numpy as np
+
+    from repro.storage.dtypes import INT64
+    from repro.storage.updates import PendingUpdates
+
+    pending = PendingUpdates(INT64)
+    pending.stage_deletes([10, 11], [500, 100])
+    pending.stage_deletes([12, 13], [300, 50])
+    assert pending.deleted_values.tolist() == [50, 100, 300, 500]
+    assert pending._delete_positions.tolist() == [13, 11, 12, 10]
+    taken = pending.take_deletes_in_range(90, 310)
+    assert taken.tolist() == [100, 300]
+    assert pending._delete_positions.tolist() == [13, 10]

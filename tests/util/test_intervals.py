@@ -104,3 +104,42 @@ def test_total_span_sums_widths():
     iset.add(0, 10)
     iset.add(20, 25)
     assert iset.total_span() == 15
+
+
+def test_add_many_equals_sequential_adds():
+    import numpy as np
+
+    from repro.util.intervals import IntervalSet
+
+    rng = np.random.default_rng(3)
+    for _ in range(40):
+        ranges = []
+        for _ in range(int(rng.integers(0, 12))):
+            low = float(rng.uniform(0, 100))
+            ranges.append((low, low + float(rng.uniform(0, 20))))
+        one_by_one = IntervalSet()
+        batched = IntervalSet()
+        base = [
+            (float(low), float(low + 5))
+            for low in rng.uniform(0, 100, size=3)
+        ]
+        for low, high in base:
+            one_by_one.add(low, high)
+            batched.add(low, high)
+        for low, high in ranges:
+            one_by_one.add(low, high)
+        batched.add_many(ranges)
+        assert batched.intervals() == one_by_one.intervals()
+
+
+def test_add_many_rejects_inverted_and_skips_empty():
+    import pytest
+
+    from repro.errors import QueryError
+    from repro.util.intervals import IntervalSet
+
+    intervals = IntervalSet()
+    intervals.add_many([(1.0, 1.0), (2.0, 2.0)])
+    assert intervals.intervals() == []
+    with pytest.raises(QueryError):
+        intervals.add_many([(3.0, 2.0)])

@@ -86,3 +86,74 @@ def test_run_stream_rejects_unknown_events(tiny_db):
     session = tiny_db.session("scan")
     with pytest.raises(WorkloadError, match="unknown workload event"):
         run_stream(session, ["not-an-event"])
+
+
+# -- windowed (batched) streams (ISSUE 4) --------------------------------
+
+
+def _grid_queries(count: int, seed: int = 5) -> list[RangeQuery]:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        low = float(rng.uniform(0, 9e7))
+        queries.append(
+            RangeQuery(ColumnRef("R", "A1"), low, low + 2e6)
+        )
+    return queries
+
+
+def test_run_stream_batched_matches_run_stream():
+    from repro.simtime.clock import SimClock
+    from repro.storage.database import Database
+    from repro.storage.loader import build_paper_table
+    from repro.workload.stream import run_stream, run_stream_batched
+
+    def fresh_session():
+        db = Database(clock=SimClock())
+        db.add_table(build_paper_table(rows=5000, columns=1, seed=4))
+        return db.session("holistic", seed=2)
+
+    queries = _grid_queries(20)
+    events = list(
+        interleave_idle(queries, idle_every=7, idle=IdleEvent(actions=3))
+    )
+    base = run_stream(fresh_session(), events)
+    batched = run_stream_batched(fresh_session(), events, window=6)
+    assert [repr(r.response_s) for r in batched.queries] == [
+        repr(r.response_s) for r in base.queries
+    ]
+    assert [repr(r.nominal_s) for r in batched.idles] == [
+        repr(r.nominal_s) for r in base.idles
+    ]
+
+
+def test_run_stream_batched_query_only_fast_path(tiny_db):
+    from repro.workload.stream import run_stream_batched
+
+    events = [QueryEvent(q) for q in _grid_queries(11)]
+    report = run_stream_batched(
+        tiny_db.session("adaptive"), events, window=4
+    )
+    assert report.query_count == 11
+
+
+def test_run_stream_batched_rejects_bad_window(tiny_db):
+    from repro.workload.stream import run_stream_batched
+
+    with pytest.raises(WorkloadError):
+        run_stream_batched(tiny_db.session("scan"), [], window=0)
+
+
+def test_query_stream_runs_and_counts(tiny_db):
+    from repro.workload.stream import QueryStream
+
+    stream = QueryStream.of_queries(_grid_queries(9))
+    assert stream.query_count == 9
+    assert len(stream) == 9
+    base = stream.run(tiny_db.session("adaptive"))
+    windowed = stream.run_windowed(tiny_db.session("adaptive"), 4)
+    assert [r.result_count for r in windowed.queries] == [
+        r.result_count for r in base.queries
+    ]
