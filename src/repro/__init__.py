@@ -37,6 +37,12 @@ from repro.engine import (
 )
 from repro.errors import ReproError
 from repro.holistic import HolisticConfig, HolisticKernel
+from repro.serving import (
+    CrossSessionWindowFormer,
+    OpenLoopWindowFormer,
+    ServingFrontend,
+    ServingReport,
+)
 from repro.simtime import (
     CostCharge,
     CostModel,
@@ -63,15 +69,19 @@ __all__ = [
     "ColumnRef",
     "CostCharge",
     "CostModel",
+    "CrossSessionWindowFormer",
     "Database",
     "HolisticConfig",
     "HolisticKernel",
+    "OpenLoopWindowFormer",
     "MEDIUM",
     "PAPER",
     "RangeQuery",
     "ReproError",
     "SMALL",
     "ScaleSpec",
+    "ServingFrontend",
+    "ServingReport",
     "Session",
     "SessionReport",
     "SimClock",

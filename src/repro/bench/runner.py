@@ -68,6 +68,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "ablation-batch",
             "hotpath",
             "e2e",
+            "serve",
             "all",
         ],
         help="which artefact to regenerate",
@@ -162,6 +163,23 @@ def main(argv: list[str] | None = None) -> int:
             quick=args.quick,
             out=args.out,
             baseline_path=args.baseline_json,
+            check_path=args.check,
+            repeats=args.repeats,
+        )
+        print(text)
+        return exit_code
+
+    if args.command == "serve":
+        from repro.bench.serve import run_serve_command
+
+        if args.baseline_json:
+            parser.error("--baseline-json only applies to hotpath")
+        text, exit_code = run_serve_command(
+            rows=args.rows,
+            queries=args.queries,
+            seed=args.seed,
+            quick=args.quick,
+            out=args.out,
             check_path=args.check,
             repeats=args.repeats,
         )

@@ -1,0 +1,503 @@
+"""Concurrent-serving wall-clock benchmark (ISSUE 5).
+
+Where ``e2e`` measures one session's batched loop, this harness
+measures the **multi-tenant** case: N concurrent clients served by one
+shared kernel through the cross-session window former, against the
+obvious baseline -- the same N clients run as sequential solo
+sessions, each on its own fresh kernel.
+
+Every serving scenario emits one *semantic fingerprint per client*
+(query/result totals, cumulative response time, lane clock reading and
+a hash of the client's piece-map trajectory) and the harness verifies
+each equals the fingerprint of that client's solo run -- the serving
+front-end's bit-for-bit invariant -- turning the speedup table into a
+correctness proof, exactly as ``e2e`` does for one-session batching.
+
+Reported per scenario: wall seconds, aggregate queries/s, and for
+serving runs the p50/p99 per-query latency under the batch-service
+model (every query in a window waits for its whole window).
+
+Usage::
+
+    python -m repro.bench serve            # 200k rows, 2k queries/client
+    python -m repro.bench serve --quick    # CI-sized run
+    python -m repro.bench serve --check BENCH_serve_quick.json
+
+Results land in ``BENCH_serve.json`` (``--out`` to change); ``--check``
+compares against a committed baseline and exits non-zero on a >2x
+throughput regression or any fingerprint divergence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.session import make_strategy
+from repro.serving import ServingFrontend
+from repro.simtime.clock import SimClock
+from repro.storage.catalog import ColumnRef
+from repro.storage.database import Database
+from repro.storage.loader import build_paper_table
+from repro.workload.multiclient import ClientWorkload, make_closed_loop_clients
+
+REGRESSION_LIMIT = 2.0
+
+DEFAULT_ROWS = 200_000
+DEFAULT_QUERIES_PER_CLIENT = 2_000
+QUICK_ROWS = 50_000
+QUICK_QUERIES_PER_CLIENT = 250
+
+#: Concurrent client counts of the sweep; 1 shows the single-tenant
+#: floor, the top count is the headline multi-tenant comparison.
+CLIENT_COUNTS = (1, 2, 8)
+QUICK_CLIENT_COUNTS = (1, 8)
+
+#: Queries a client keeps in flight per window (closed loop).
+WINDOW_DEPTH = 16
+
+_COLUMNS = 2
+_VALUE_LOW = 1
+_VALUE_HIGH = 100_000_000
+_SELECTIVITY = 0.001
+_GRID_POINTS = 320
+_GRID_FRACTION = 0.95
+_PENDING_INSERTS = 50
+_PENDING_DELETES = 25
+
+_STRATEGIES = ("adaptive", "holistic", "holistic_workers")
+
+
+def _strategy_options(key: str, seed: int) -> tuple[str, dict[str, object]]:
+    if key == "adaptive":
+        return "adaptive", {}
+    if key == "holistic":
+        return "holistic", {"seed": seed}
+    if key == "holistic_workers":
+        return "holistic", {"seed": seed, "num_workers": 2}
+    raise ValueError(f"unknown serve strategy {key!r}")
+
+
+def _fresh_db(rows: int, seed: int) -> Database:
+    db = Database(clock=SimClock())
+    db.add_table(
+        build_paper_table(rows=rows, columns=_COLUMNS, seed=seed)
+    )
+    rng = np.random.default_rng(seed + 2)
+    table = db.table("R")
+    for c in range(1, _COLUMNS + 1):
+        column = f"A{c}"
+        pending = table.updates_for(column)
+        pending.stage_inserts(
+            rng.integers(_VALUE_LOW, _VALUE_HIGH + 1, size=_PENDING_INSERTS)
+        )
+        values = db.column("R", column).values
+        positions = rng.integers(0, rows, size=_PENDING_DELETES)
+        pending.stage_deletes(positions, values[positions])
+    return db
+
+
+def _workloads(clients: int, queries: int, seed: int) -> list[ClientWorkload]:
+    refs = [ColumnRef("R", f"A{c}") for c in range(1, _COLUMNS + 1)]
+    return make_closed_loop_clients(
+        refs,
+        _VALUE_LOW,
+        _VALUE_HIGH,
+        clients=clients,
+        queries_per_client=queries,
+        selectivity=_SELECTIVITY,
+        grid_points=_GRID_POINTS,
+        grid_fraction=_GRID_FRACTION,
+        seed=seed,
+    )
+
+
+def _fingerprint(
+    responses_total: float,
+    clock_now: float,
+    queries: int,
+    result_rows: int,
+    piece_maps: dict[tuple[str, str], tuple[list, list]],
+) -> dict[str, object]:
+    state = hashlib.sha256()
+    for (table, column) in sorted(piece_maps):
+        pivots, cuts = piece_maps[(table, column)]
+        state.update(f"{table}.{column}".encode())
+        state.update(np.asarray(pivots, dtype=np.float64).tobytes())
+        state.update(np.asarray(cuts, dtype=np.int64).tobytes())
+    return {
+        "queries": queries,
+        "result_rows": result_rows,
+        "total_response_s": repr(float(responses_total)),
+        "lane_now": repr(float(clock_now)),
+        "state_sha256": state.hexdigest(),
+    }
+
+
+def _solo_fingerprint(session, clock) -> dict[str, object]:
+    report = session.report
+    indexes = getattr(session.strategy, "indexes", {})
+    piece_maps = {
+        (ref.table, ref.column): (
+            index.piece_map.pivots(),
+            index.piece_map.cuts(),
+        )
+        for ref, index in indexes.items()
+    }
+    return _fingerprint(
+        report.total_response_s,
+        clock.now(),
+        report.query_count,
+        int(sum(record.result_count for record in report.queries)),
+        piece_maps,
+    )
+
+
+def _lane_fingerprint(lane) -> dict[str, object]:
+    report = lane.report
+    return _fingerprint(
+        report.total_response_s,
+        lane.clock.now(),
+        report.query_count,
+        int(sum(record.result_count for record in report.queries)),
+        lane.shadow_state(),
+    )
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """One (strategy, mode, client count) measurement."""
+
+    name: str
+    wall_s: float
+    ops: int
+    fingerprints: dict[str, dict[str, object]] = field(default_factory=dict)
+    latency_p50_ms: float | None = None
+    latency_p99_ms: float | None = None
+    windows: int | None = None
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_s <= 0:
+            return float("inf")
+        return self.ops / self.wall_s
+
+    def as_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
+            "wall_s": round(self.wall_s, 6),
+            "ops": self.ops,
+            "unit": "queries",
+            "throughput": round(self.throughput, 3),
+            "fingerprints": self.fingerprints,
+        }
+        if self.latency_p50_ms is not None:
+            data["latency_p50_ms"] = self.latency_p50_ms
+            data["latency_p99_ms"] = self.latency_p99_ms
+            data["windows"] = self.windows
+        return data
+
+
+def _run_solo(
+    key: str, clients: int, rows: int, queries: int, seed: int
+) -> ScenarioResult:
+    """N sequential solo sessions, each on its own fresh kernel."""
+    strategy, options = _strategy_options(key, seed)
+    workloads = _workloads(clients, queries, seed)
+    fingerprints: dict[str, dict[str, object]] = {}
+    wall = 0.0
+    for workload in workloads:
+        db = _fresh_db(rows, seed)
+        session = db.session(strategy, **options)
+        run_query = session.run_query
+        started = time.perf_counter()
+        for query in workload.queries:
+            run_query(query)
+        wall += time.perf_counter() - started
+        fingerprints[workload.client] = _solo_fingerprint(session, db.clock)
+    return ScenarioResult(
+        f"{key}/solo/clients{clients}",
+        wall,
+        clients * queries,
+        fingerprints,
+    )
+
+
+def _run_serve(
+    key: str, clients: int, rows: int, queries: int, seed: int
+) -> ScenarioResult:
+    """One shared kernel serving all N clients concurrently."""
+    strategy, options = _strategy_options(key, seed)
+    workloads = _workloads(clients, queries, seed)
+    db = _fresh_db(rows, seed)
+    kernel = make_strategy(strategy, db, **options)
+    frontend = ServingFrontend(db, kernel, depth=WINDOW_DEPTH)
+    lanes = {
+        workload.client: frontend.add_client(
+            workload.client, workload.queries
+        )
+        for workload in workloads
+    }
+    workers = key == "holistic_workers"
+    started = time.perf_counter()
+    if workers:
+        kernel.start_workers()
+        kernel.submit_tuning(clients * queries // 4)
+    report = frontend.run()
+    if workers:
+        kernel.drain_workers()
+        kernel.stop_workers()
+    wall = time.perf_counter() - started
+    latencies = np.asarray(report.query_latencies_s())
+    result = ScenarioResult(
+        f"{key}/serve/clients{clients}",
+        wall,
+        clients * queries,
+        {name: _lane_fingerprint(lane) for name, lane in lanes.items()},
+        latency_p50_ms=round(float(np.percentile(latencies, 50)) * 1e3, 4),
+        latency_p99_ms=round(float(np.percentile(latencies, 99)) * 1e3, 4),
+        windows=report.windows,
+    )
+    return result
+
+
+def run_serve(
+    rows: int = DEFAULT_ROWS,
+    queries_per_client: int = DEFAULT_QUERIES_PER_CLIENT,
+    seed: int = 42,
+    mode: str = "full",
+    repeats: int = 3,
+    client_counts: tuple[int, ...] | None = None,
+    strategies: tuple[str, ...] = _STRATEGIES,
+) -> dict[str, object]:
+    """Run the sweep; return the JSON-ready document.
+
+    Repeats are interleaved across the whole matrix (best wall clock
+    per scenario, fingerprints must agree across repeats).  The
+    ``holistic_workers`` serving scenario's per-client fingerprints are
+    compared against the plain ``holistic`` solo run: background
+    tuning must not move a single client's accounting.
+    """
+    if client_counts is None:
+        client_counts = (
+            QUICK_CLIENT_COUNTS if mode == "quick" else CLIENT_COUNTS
+        )
+    scenarios: dict[str, ScenarioResult] = {}
+    for _ in range(max(1, repeats)):
+        solo_measured: set[str] = set()
+        for key in strategies:
+            solo_key = "holistic" if key == "holistic_workers" else key
+            for clients in client_counts:
+                runs: list[tuple] = []
+                # The workers variant's baseline is the plain holistic
+                # solo run; measure each solo baseline once per repeat
+                # even when its strategy is not in the sweep itself.
+                solo_name = f"{solo_key}/solo/clients{clients}"
+                if solo_name not in solo_measured:
+                    solo_measured.add(solo_name)
+                    runs.append((_run_solo, solo_key))
+                runs.append((_run_serve, key))
+                for runner, run_key in runs:
+                    result = runner(
+                        run_key, clients, rows, queries_per_client, seed
+                    )
+                    best = scenarios.get(result.name)
+                    if best is None:
+                        scenarios[result.name] = result
+                    else:
+                        if best.fingerprints != result.fingerprints:
+                            raise AssertionError(
+                                f"{result.name}: non-deterministic "
+                                "fingerprint across repeats"
+                            )
+                        if result.wall_s < best.wall_s:
+                            scenarios[result.name] = result
+    speedups: dict[str, dict[str, float]] = {}
+    equivalence: dict[str, bool] = {}
+    for key in strategies:
+        solo_key = "holistic" if key == "holistic_workers" else key
+        per_count: dict[str, float] = {}
+        for clients in client_counts:
+            solo = scenarios[f"{solo_key}/solo/clients{clients}"]
+            serve = scenarios[f"{key}/serve/clients{clients}"]
+            per_count[f"clients{clients}"] = round(
+                serve.throughput / solo.throughput, 3
+            )
+            equivalence[serve.name] = (
+                serve.fingerprints == solo.fingerprints
+            )
+        speedups[key] = per_count
+    return {
+        "schema": "serve-v1",
+        "config": {
+            "rows": rows,
+            "queries_per_client": queries_per_client,
+            "columns": _COLUMNS,
+            "seed": seed,
+            "mode": mode,
+            "client_counts": list(client_counts),
+            "window_depth": WINDOW_DEPTH,
+        },
+        "scenarios": {
+            name: result.as_dict()
+            for name, result in sorted(scenarios.items())
+        },
+        "speedup_serve_vs_solo": speedups,
+        "serve_equals_solo": equivalence,
+    }
+
+
+def serve_text(result: dict[str, object]) -> str:
+    """Human-readable rendering of a serve run."""
+    config = result["config"]
+    lines = [
+        "Concurrent serving benchmark "
+        f"({config['rows']:,} rows x {config['columns']} columns, "
+        f"{config['queries_per_client']:,} queries/client, "
+        f"depth={config['window_depth']}, mode={config['mode']})",
+        f"{'scenario':<30} {'wall s':>9} {'queries/s':>11} "
+        f"{'p50 ms':>8} {'p99 ms':>8} {'vs solo':>8}",
+    ]
+    speedups = result.get("speedup_serve_vs_solo", {})
+    for name, data in result["scenarios"].items():
+        strategy, kind, clients = name.split("/")
+        ratio = ""
+        if kind == "serve":
+            value = speedups.get(strategy, {}).get(clients)
+            ratio = f"{value:.2f}x" if value is not None else ""
+        p50 = data.get("latency_p50_ms")
+        p99 = data.get("latency_p99_ms")
+        lines.append(
+            f"{name:<30} {data['wall_s']:>9.3f} "
+            f"{data['throughput']:>11.1f} "
+            f"{p50 if p50 is not None else '--':>8} "
+            f"{p99 if p99 is not None else '--':>8} {ratio:>8}"
+        )
+    lines.append("")
+    lines.append(
+        "serve == solo fingerprints: "
+        + ", ".join(
+            f"{name.split('/')[0]}@{name.split('/')[2]}="
+            f"{'yes' if ok else 'NO'}"
+            for name, ok in result.get("serve_equals_solo", {}).items()
+        )
+    )
+    return "\n".join(lines)
+
+
+_SEMANTIC_KEYS = (
+    "queries",
+    "result_rows",
+    "total_response_s",
+    "lane_now",
+    "state_sha256",
+)
+
+
+def check_regression(
+    current: dict[str, object], committed: dict[str, object]
+) -> list[str]:
+    """Gate a fresh run against a committed baseline document."""
+    failures: list[str] = []
+    for name, ok in current.get("serve_equals_solo", {}).items():
+        if not ok:
+            failures.append(
+                f"{name}: per-client fingerprints diverged from the "
+                "solo baselines within this run"
+            )
+    committed_scenarios = committed.get("scenarios", {})
+    same_config = committed.get("config", {}) == current.get("config", {})
+    for name, data in current.get("scenarios", {}).items():
+        base = committed_scenarios.get(name)
+        if base is None:
+            continue
+        base_tp = float(base.get("throughput", 0.0))
+        cur_tp = float(data.get("throughput", 0.0))
+        if base_tp > 0 and cur_tp > 0 and base_tp / cur_tp > REGRESSION_LIMIT:
+            failures.append(
+                f"{name}: throughput regressed "
+                f"{base_tp / cur_tp:.2f}x ({base_tp:.1f} -> {cur_tp:.1f} "
+                f"queries/s, limit {REGRESSION_LIMIT}x)"
+            )
+        if not same_config:
+            continue
+        for client, fingerprint in data.get("fingerprints", {}).items():
+            base_fp = base.get("fingerprints", {}).get(client)
+            if not base_fp:
+                continue
+            for fp_key in _SEMANTIC_KEYS:
+                if fp_key in base_fp and base_fp.get(
+                    fp_key
+                ) != fingerprint.get(fp_key):
+                    failures.append(
+                        f"{name}.{client}.{fp_key}: fingerprint diverged "
+                        f"from committed baseline (expected "
+                        f"{base_fp[fp_key]!r}, got "
+                        f"{fingerprint.get(fp_key)!r})"
+                    )
+    return failures
+
+
+def run_serve_command(
+    rows: int | None,
+    queries: int | None,
+    seed: int,
+    quick: bool,
+    out: str | None,
+    check_path: str | None,
+    repeats: int = 3,
+) -> tuple[str, int]:
+    """CLI driver for ``python -m repro.bench serve``.
+
+    Returns ``(text_output, exit_code)``.
+    """
+    mode = "quick" if quick else "full"
+    rows = rows if rows is not None else (QUICK_ROWS if quick else DEFAULT_ROWS)
+    queries = (
+        queries
+        if queries is not None
+        else (
+            QUICK_QUERIES_PER_CLIENT if quick else DEFAULT_QUERIES_PER_CLIENT
+        )
+    )
+    result = run_serve(
+        rows=rows,
+        queries_per_client=queries,
+        seed=seed,
+        mode=mode,
+        repeats=repeats,
+    )
+    exit_code = 0
+    check_lines: list[str] = []
+    diverged = [
+        name
+        for name, ok in result.get("serve_equals_solo", {}).items()
+        if not ok
+    ]
+    if diverged and not check_path:
+        # Fingerprint equality is a correctness claim, not a perf one:
+        # fail even without a committed baseline to compare against.
+        exit_code = 1
+        check_lines = [
+            "",
+            "SERVE FINGERPRINT FAILURES:",
+            *[f"{name}: serve != solo" for name in diverged],
+        ]
+    if check_path:
+        committed = json.loads(Path(check_path).read_text())
+        failures = check_regression(result, committed)
+        if failures:
+            exit_code = 1
+            check_lines = ["", "SERVE PERF-SMOKE FAILURES:", *failures]
+        else:
+            check_lines = ["", "serve perf-smoke gate passed"]
+    out_path = Path(out) if out else Path("BENCH_serve.json")
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    text = serve_text(result) + "\n" + f"wrote {out_path}"
+    if check_lines:
+        text += "\n" + "\n".join(check_lines)
+    return text, exit_code

@@ -124,6 +124,7 @@ class CrackSelectBatch:
         copy_charged: bool,
         origin: CrackOrigin,
         expected: int,
+        tape=None,
     ) -> None:
         self._index = index
         self._values = index.values
@@ -136,7 +137,9 @@ class CrackSelectBatch:
         #: the default forwards each event to the clock immediately,
         #: which direct (index-level) users rely on.
         self._acc = DirectAccountant(index.clock)
-        self._tape = index.tape
+        # Detached replays (one client of a shared kernel) log onto
+        # their own tape instead of the index's shared one.
+        self._tape = tape if tape is not None else index.tape
         self._expected = expected
         self._done = 0
         # Repeated warm predicates (parameterized workloads) resolve
@@ -315,6 +318,20 @@ class CrackSelectBatch:
         self._done += 1
         return RangeView(self._values, pos_low, pos_high, self._rowids)
 
+    def refresh_arrays(self) -> None:
+        """Re-capture the index's physical arrays and view cache.
+
+        Defensive re-sync for long-lived (detached) replays: result
+        views must always slice the index's *current* arrays.  Note
+        this does not make replays safe across update merges that
+        shift cut positions -- the shadow map and the caller's
+        positions would be stale too; serving-eligible strategies
+        never merge mid-run (see :mod:`repro.serving`).
+        """
+        self._values = self._index.values
+        self._rowids = self._index.rowids
+        self._view_cache = self._index._span_views
+
     def check_consistent(self) -> None:
         """Verify the replay converged onto the physical state.
 
@@ -334,3 +351,66 @@ class CrackSelectBatch:
             raise CrackerError(
                 "batched select replay diverged from the physical pass"
             )
+
+
+class DetachedCrackReplay(CrackSelectBatch):
+    """A persistent per-client accounting replay over a shared index.
+
+    The concurrent serving front-end (ISSUE 5) runs many clients
+    against **one** physical cracker index: the index accumulates the
+    union of every client's (and every tuning worker's) cracks, while
+    each client carries a detached replay whose shadow map evolves only
+    through that client's own queries -- the exact piece-boundary
+    trajectory of the client running *alone* against a fresh index.
+
+    This works because a crack's position is order independent: the cut
+    for value ``v`` always lands at the number of elements ``< v``, no
+    matter which other cracks -- from other clients, other windows, or
+    background tuning -- happen around it.  The physical union therefore
+    serves every client's solo piece boundaries, and the replay's
+    charges (which depend only on the shadow's piece sizes and the
+    order-independent positions) reproduce the solo charge stream
+    bit-for-bit.
+
+    Unlike its window-scoped parent, a detached replay
+
+    * never converges onto the physical map (``check_consistent`` does
+      not apply);
+    * persists across windows: re-``bind`` a fresh accountant per
+      window and keep replaying;
+    * logs onto its own tape, so each client owns a solo-identical
+      crack log;
+    * charges its own copy-on-first-touch materialization, like the
+      solo index would on the client's first crack;
+    * resolves positions from a caller-maintained dict that must cover
+      every bound the client queries (the serving front-end feeds it
+      from :meth:`CrackerIndex.crack_bounds_batch` each window).
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def solo(
+        cls,
+        index,
+        positions: dict[float, int],
+        tape,
+        origin: CrackOrigin = CrackOrigin.QUERY,
+    ) -> "DetachedCrackReplay":
+        """A replay starting from the virgin (uncracked) column state."""
+        sim = ReplayPieceMap(index.row_count, [], [], [False])
+        return cls(
+            index,
+            sim,
+            positions,
+            copy_charged=False,
+            origin=origin,
+            expected=0,
+            tape=tape,
+        )
+
+    def bind(self, accountant) -> None:
+        super().bind(accountant)
+        # Always serve views over the index's current arrays (e.g.
+        # after a widening that preserved cut positions).
+        self.refresh_arrays()

@@ -549,6 +549,52 @@ class CrackerIndex:
         self._replay_cache = (self._pieces.version, context)
         return context
 
+    @_synchronized
+    def crack_bounds_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> dict[float, int]:
+        """Silently crack a window's bounds; return every cut position.
+
+        The re-entrant physical half of a cross-session serving window
+        (ISSUE 5).  Like :meth:`begin_select_batch` it cracks every
+        fresh bound in one grouped pass with **no** clock or tape side
+        effects, but it constructs no replay context -- accounting is
+        driven externally, by per-client
+        :class:`~repro.cracking.batch.DetachedCrackReplay` shadows --
+        and the returned mapping covers **every** distinct bound,
+        including values that were already pivots: a bound warm in the
+        shared physical index can still be fresh in a client's shadow
+        map, whose replay then needs its (order-independent) position.
+
+        Raises:
+            QueryError: if any range is inverted.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if np.any(lows > highs):
+            slot = int(np.argmax(lows > highs))
+            raise QueryError(
+                f"range inverted: low={lows[slot]} > high={highs[slot]}"
+            )
+        values = np.concatenate([lows, highs])
+        if len(values) == 0:
+            return {}
+        positions = self._crack_values_silent(values)
+        # After the silent pass every requested value is a pivot;
+        # resolve the already-warm ones from the piece map.
+        warm = [
+            value
+            for value in np.unique(values).tolist()
+            if value not in positions
+        ]
+        if warm:
+            _, starts, _, _, _ = self._pieces.locate_many(
+                np.asarray(warm, dtype=np.float64)
+            )
+            for value, start in zip(warm, starts.tolist()):
+                positions[value] = int(start)
+        return positions
+
     def _crack_values_silent(
         self, values: np.ndarray
     ) -> dict[float, int]:

@@ -56,6 +56,10 @@ class QueryRecord:
     result_count: int
     cumulative_response_s: float
     finished_at: float
+    #: Which client this query belonged to; "" for single-client
+    #: sessions.  The concurrent serving front-end tags every record
+    #: with its lane's client name (see :mod:`repro.serving`).
+    client: str = ""
 
 
 @dataclass(slots=True)
@@ -78,6 +82,9 @@ class SessionReport:
     strategy: str
     queries: list[QueryRecord] = field(default_factory=list)
     idles: list[IdleRecord] = field(default_factory=list)
+    #: Client name for per-client reports produced by the serving
+    #: front-end; "" for plain single-client sessions.
+    client: str = ""
 
     @property
     def query_count(self) -> int:
@@ -102,11 +109,17 @@ class SessionReport:
 class Session:
     """A query session bound to one indexing strategy."""
 
-    def __init__(self, database: Database, strategy: IndexingStrategy) -> None:
+    def __init__(
+        self,
+        database: Database,
+        strategy: IndexingStrategy,
+        client: str = "",
+    ) -> None:
         self.db = database
         self.clock = database.clock
         self.strategy = strategy
-        self.report = SessionReport(strategy=strategy.name)
+        self.client = client
+        self.report = SessionReport(strategy=strategy.name, client=client)
         self._cumulative_s = 0.0
         self._pending_wait_s = 0.0
 
@@ -149,6 +162,7 @@ class Session:
                 result_count=result.count,
                 cumulative_response_s=self._cumulative_s,
                 finished_at=finished,
+                client=self.client,
             )
         )
         return result
@@ -220,6 +234,7 @@ class Session:
         results: list[SelectionResult] = []
         append_result = results.append
         sequence = len(records)
+        client = self.client
         for i, query in enumerate(queries):
             started = accountant.now
             if fast_dispatch is not None:
@@ -244,6 +259,7 @@ class Session:
                     result_count=result.count,
                     cumulative_response_s=self._cumulative_s,
                     finished_at=finished,
+                    client=client,
                 )
             )
             append_result(result)

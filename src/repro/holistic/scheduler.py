@@ -46,7 +46,11 @@ class TuningReport:
         self.consumed_s += other.consumed_s
         for ref, count in other.per_column.items():
             self.per_column[ref] = self.per_column.get(ref, 0) + count
-        self.stop_reason = other.stop_reason
+        # Keep the first non-empty stop reason: merging a report that
+        # never set one (a zero-action window, a partial worker report)
+        # must not erase the reason already recorded.
+        if not self.stop_reason:
+            self.stop_reason = other.stop_reason
         for worker, count in other.per_worker.items():
             self.per_worker[worker] = self.per_worker.get(worker, 0) + count
         self.stalls += other.stalls

@@ -34,7 +34,10 @@ class Recommendation:
     @property
     def benefit_per_build_second(self) -> float:
         if self.build_cost_s <= 0:
-            return float("inf")
+            # A free build is only infinitely attractive when it buys
+            # something; a zero-benefit candidate must not outrank
+            # genuinely beneficial ones in the greedy pick.
+            return float("inf") if self.expected_benefit_s > 0 else 0.0
         return self.expected_benefit_s / self.build_cost_s
 
 

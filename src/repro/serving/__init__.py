@@ -1,0 +1,28 @@
+"""Concurrent multi-client serving on one shared holistic kernel.
+
+The first genuinely multi-tenant scenario of the reproduction
+(ISSUE 5): a :class:`ServingFrontend` serves N concurrent clients from
+one shared kernel, coalescing in-flight queries from *different*
+clients into shared cracking work while keeping every client's
+response-time accounting bit-for-bit identical to running alone.
+"""
+
+from repro.serving.frontend import (
+    ClientLane,
+    ServingFrontend,
+    ServingReport,
+)
+from repro.serving.window import (
+    CrossSessionWindowFormer,
+    OpenLoopWindowFormer,
+    WindowEntry,
+)
+
+__all__ = [
+    "ClientLane",
+    "CrossSessionWindowFormer",
+    "OpenLoopWindowFormer",
+    "ServingFrontend",
+    "ServingReport",
+    "WindowEntry",
+]

@@ -1,0 +1,412 @@
+"""The concurrent multi-client serving front-end (ISSUE 5).
+
+N clients submit range queries against **one** shared kernel; a window
+former coalesces their in-flight queries into cross-session windows;
+each window runs one silent physical cracking pass per column
+(:meth:`CrackerIndex.crack_bounds_batch`) and then replays every
+client's accounting on that client's own *lane* -- a private
+:class:`~repro.simtime.clock.SimClock` fork plus a detached shadow
+replay per column (:class:`~repro.cracking.batch.DetachedCrackReplay`).
+
+The core invariant, the multi-tenant generalization of ISSUE 4's
+batch==sequential guarantee:
+
+    **per-client accounting is bit-for-bit what that client would have
+    measured running alone against a fresh kernel**, no matter how the
+    former interleaves clients, how deep the windows are, or what
+    background tuning workers do to the shared index in the meantime.
+
+It holds because a crack's position is order independent (the cut for
+``v`` always lands at the number of elements ``< v``), so the shared
+physical index -- which accumulates the *union* of everyone's cracks --
+can serve every client's solo piece boundaries, while each client's
+shadow map evolves exactly as its solo piece map would.  The physical
+work is paid once; the per-client replays are pure accounting.
+
+Concurrency: the front-end itself is a serial loop (one window at a
+time -- concurrency between clients is *logical*, expressed by window
+coalescing), but it coexists with a running
+:class:`~repro.holistic.workers.TuningWorkerPool`: while workers are
+racing, each window holds its columns' table-level latches so worker
+cracks interleave *between* windows, never mid-replay.
+
+Shared mutable state the serving loop does not own -- pending-update
+delta stores in particular -- must stay unmutated for the duration of
+a run; stage updates between runs, as the benchmarks do.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cracking.batch import DetachedCrackReplay
+from repro.cracking.tape import CrackTape
+from repro.engine.operators import PendingWindow
+from repro.engine.plan import ColumnWindow, group_by_column
+from repro.engine.query import RangeQuery
+from repro.engine.session import QueryRecord, SessionReport
+from repro.engine.strategies import AdaptiveStrategy, IndexingStrategy
+from repro.errors import ConfigError, QueryError
+from repro.holistic.kernel import HolisticKernel
+from repro.serving.window import CrossSessionWindowFormer, WindowEntry
+from repro.simtime.accounting import make_accountant
+from repro.simtime.clock import SimClock
+from repro.storage.catalog import ColumnRef
+from repro.storage.database import Database
+from repro.storage.views import SelectionResult
+
+
+class ClientLane:
+    """One client's serial accounting lane.
+
+    Owns the client's clock fork, its solo-trajectory shadow replays
+    (one per column, created on first touch), its crack tape and its
+    :class:`SessionReport` of client-tagged query records -- everything
+    a solo session would have produced, kept bit-identical under
+    serving.
+    """
+
+    __slots__ = ("name", "clock", "tape", "report", "_cumulative_s", "replays")
+
+    def __init__(self, name: str, clock: SimClock, strategy_name: str) -> None:
+        self.name = name
+        self.clock = clock
+        self.tape = CrackTape()
+        self.report = SessionReport(strategy=strategy_name, client=name)
+        self._cumulative_s = 0.0
+        self.replays: dict[tuple[str, str], DetachedCrackReplay] = {}
+
+    @property
+    def query_count(self) -> int:
+        return len(self.report.queries)
+
+    def shadow_state(self) -> dict[tuple[str, str], tuple[list, list]]:
+        """Per-column (pivots, cuts) of this client's shadow maps --
+        the client's solo piece-map trajectory."""
+        return {
+            key: (list(replay.sim.pivots), list(replay.sim.cuts))
+            for key, replay in sorted(self.replays.items())
+        }
+
+
+@dataclass(slots=True)
+class ServingReport:
+    """Aggregate outcome of one serving run."""
+
+    strategy: str
+    clients: dict[str, SessionReport]
+    windows: int = 0
+    window_sizes: list[int] = field(default_factory=list)
+    #: Wall seconds per window, aligned with ``window_sizes`` (only
+    #: populated by :meth:`ServingFrontend.run`).
+    window_wall_s: list[float] = field(default_factory=list)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(len(r.queries) for r in self.clients.values())
+
+    def query_latencies_s(self) -> list[float]:
+        """Per-query wall latency under the batch-service model: every
+        query in a window waits for the whole window to complete."""
+        latencies: list[float] = []
+        for size, wall in zip(self.window_sizes, self.window_wall_s):
+            latencies.extend([wall] * size)
+        return latencies
+
+
+class ServingFrontend:
+    """A shared kernel serving many logical clients concurrently.
+
+    Args:
+        db: the shared database.
+        strategy: the shared kernel -- standard adaptive cracking or a
+            holistic kernel.  Stochastic/hybrid adaptive variants make
+            order-dependent refinement decisions, and the holistic
+            no-idle hot boost mutates the index mid-query from shared
+            statistics; neither can keep per-client accounting
+            solo-identical, so they are rejected.
+        former: window former; defaults to a closed-loop
+            :class:`CrossSessionWindowFormer` with ``depth``.
+        depth: per-client window depth of the default former.
+
+    Raises:
+        ConfigError: for a strategy that cannot serve concurrently.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        strategy: IndexingStrategy,
+        former=None,
+        depth: int = 8,
+    ) -> None:
+        self.db = db
+        self.strategy = strategy
+        self._holistic = isinstance(strategy, HolisticKernel)
+        if self._holistic:
+            config = strategy.config
+            if (
+                config.hot_column_threshold > 0
+                and config.hot_boost_cracks > 0
+            ):
+                raise ConfigError(
+                    "the holistic hot-range boost mutates the shared "
+                    "index from shared statistics mid-query; disable it "
+                    "(hot_column_threshold=0) to serve concurrently"
+                )
+        elif isinstance(strategy, AdaptiveStrategy):
+            if strategy.variant != "standard":
+                raise ConfigError(
+                    f"adaptive variant {strategy.variant!r} makes "
+                    "order-dependent refinement decisions; only "
+                    "'standard' can serve concurrently"
+                )
+        else:
+            raise ConfigError(
+                f"strategy {strategy.name!r} has no concurrent serving "
+                "path; use standard adaptive cracking or the holistic "
+                "kernel"
+            )
+        self.former = (
+            former if former is not None else CrossSessionWindowFormer(depth)
+        )
+        self.lanes: dict[str, ClientLane] = {}
+        #: Per-column order-independent cut positions accumulated over
+        #: every window's physical pass; each lane's replays resolve
+        #: their fresh bounds here.
+        self._positions: dict[tuple[str, str], dict[float, int]] = {}
+        self.windows_served = 0
+
+    # -- clients ---------------------------------------------------------
+
+    def add_client(
+        self,
+        name: str,
+        queries: Sequence[RangeQuery] = (),
+        arrivals: Sequence[float] | None = None,
+    ) -> ClientLane:
+        """Register a client lane and admit its queries.
+
+        Raises:
+            ConfigError: on a duplicate client name.
+        """
+        if name in self.lanes:
+            raise ConfigError(f"client {name!r} already registered")
+        lane = ClientLane(
+            name,
+            clock=self._fork_clock(),
+            strategy_name=self.strategy.name,
+        )
+        self.lanes[name] = lane
+        if len(queries) or arrivals is not None:
+            self.former.admit(name, queries, arrivals)
+        return lane
+
+    def submit(
+        self,
+        name: str,
+        queries: Sequence[RangeQuery],
+        arrivals: Sequence[float] | None = None,
+    ) -> None:
+        """Admit more queries for an existing client.
+
+        Raises:
+            ConfigError: for an unknown client.
+        """
+        if name not in self.lanes:
+            raise ConfigError(f"unknown client {name!r}; add_client first")
+        self.former.admit(name, queries, arrivals)
+
+    def _fork_clock(self) -> SimClock:
+        clock = self.db.clock
+        if isinstance(clock, SimClock):
+            return clock.fork()
+        return SimClock(self.db.cost_model)
+
+    # -- the serving loop ------------------------------------------------
+
+    def run(self) -> ServingReport:
+        """Serve windows until every admitted query is answered."""
+        report = ServingReport(
+            strategy=self.strategy.name,
+            clients={
+                name: lane.report for name, lane in self.lanes.items()
+            },
+        )
+        while True:
+            entries = self.former.next_window()
+            if not entries:
+                break
+            started = time.perf_counter()
+            self.serve_window(entries)
+            report.window_wall_s.append(time.perf_counter() - started)
+            report.window_sizes.append(len(entries))
+            report.windows += 1
+        return report
+
+    def serve_window(
+        self, entries: list[WindowEntry]
+    ) -> list[SelectionResult]:
+        """Execute one formed window; results align with ``entries``.
+
+        One silent physical pass per column cracks the union of every
+        client's bounds (under the columns' table latches while tuning
+        workers race), then each client's slice of the window replays
+        on its own lane in stream order.
+
+        Raises:
+            QueryError: for an inverted range (before any physical
+                work, so the shared index is never half-advanced).
+            ConfigError: for an entry from an unregistered client.
+        """
+        if not entries:
+            return []
+        for entry in entries:
+            if entry.client not in self.lanes:
+                raise ConfigError(
+                    f"window entry from unknown client {entry.client!r}"
+                )
+        queries = [entry.query for entry in entries]
+        windows = group_by_column(queries)
+        # Resolve every column and validate every range before the
+        # first crack: a bad window entry must fail with the shared
+        # index untouched.
+        for window in windows:
+            self.db.catalog.column(window.ref)
+            if np.any(window.lows > window.highs):
+                slot = int(np.argmax(window.lows > window.highs))
+                raise QueryError(
+                    f"range inverted: low={window.lows[slot]} > "
+                    f"high={window.highs[slot]}"
+                )
+        pool = getattr(self.strategy, "worker_pool", None)
+        if pool is not None and not pool.is_running:
+            pool = None
+        with ExitStack() as latches:
+            indexes = {}
+            for window in windows:
+                key = (window.ref.table, window.ref.column)
+                index = self._index_for(window.ref)
+                indexes[key] = index
+                if pool is not None:
+                    # Workers are racing: exclude them from this
+                    # window's columns for the whole window, so their
+                    # cracks land between windows, never mid-replay.
+                    access = pool.register_index(window.ref, index)
+                    latches.enter_context(access.exclusive())
+                fresh = index.crack_bounds_batch(window.lows, window.highs)
+                self._positions.setdefault(key, {}).update(fresh)
+            results = self._replay_window(entries, windows, indexes)
+        self.windows_served += 1
+        return results
+
+    def _index_for(self, ref: ColumnRef):
+        if self._holistic:
+            return self.strategy.index_for(ref)
+        return self.strategy._index_for(ref)
+
+    def _replay_window(
+        self,
+        entries: list[WindowEntry],
+        windows: list[ColumnWindow],
+        indexes: dict[tuple[str, str], object],
+    ) -> list[SelectionResult]:
+        # One pending-updates consultation per column, shared across
+        # clients; charges are emitted per query on the owning lane.
+        pending_slots: list[tuple[PendingWindow, int] | None] = (
+            [None] * len(entries)
+        )
+        ref_of: list[tuple[str, str]] = [None] * len(entries)  # type: ignore[list-item]
+        for window in windows:
+            key = (window.ref.table, window.ref.column)
+            pending = self.db.catalog.table(window.ref.table).updates_for(
+                window.ref.column
+            )
+            pending_window = PendingWindow(pending, window.lows, window.highs)
+            overlaps = (
+                pending_window.overlapping_slots()
+                if pending_window.active
+                else None
+            )
+            for slot, i in enumerate(window.indices):
+                ref_of[i] = key
+                if overlaps is not None and overlaps[slot]:
+                    pending_slots[i] = (pending_window, slot)
+        by_client: dict[str, list[int]] = {}
+        for i, entry in enumerate(entries):
+            by_client.setdefault(entry.client, []).append(i)
+        results: list[SelectionResult | None] = [None] * len(entries)
+        holistic = self._holistic
+        # Deferred shared-kernel statistics: (lows, highs, timestamps)
+        # per column, applied once at window end like the one-session
+        # batch path does.
+        observations: dict[tuple[str, str], tuple[list, list, list]] = {}
+        for name, slots in by_client.items():
+            lane = self.lanes[name]
+            accountant = make_accountant(lane.clock)
+            bound: set[tuple[str, str]] = set()
+            records = lane.report.queries
+            cumulative = lane._cumulative_s
+            for i in slots:
+                entry = entries[i]
+                query = entry.query
+                key = ref_of[i]
+                replay = lane.replays.get(key)
+                if replay is None:
+                    replay = DetachedCrackReplay.solo(
+                        indexes[key], self._positions[key], lane.tape
+                    )
+                    lane.replays[key] = replay
+                if key not in bound:
+                    replay.bind(accountant)
+                    bound.add(key)
+                started = accountant.now
+                if holistic:
+                    accountant.charge_query()
+                    noted = observations.get(key)
+                    if noted is None:
+                        noted = observations[key] = ([], [], [])
+                    noted[0].append(query.low)
+                    noted[1].append(query.high)
+                    noted[2].append(accountant.now)
+                    result = replay.replay(query.low, query.high)
+                else:
+                    result = replay.replay_query(query.low, query.high)
+                slotted = pending_slots[i]
+                if slotted is not None:
+                    result = slotted[0].apply(slotted[1], result, accountant)
+                finished = accountant.now
+                response = finished - started
+                cumulative += response
+                records.append(
+                    QueryRecord(
+                        sequence=len(records) + 1,
+                        query=query,
+                        response_s=response,
+                        wait_s=0.0,
+                        result_count=result.count,
+                        cumulative_response_s=cumulative,
+                        finished_at=finished,
+                        client=name,
+                    )
+                )
+                results[i] = result
+            lane._cumulative_s = cumulative
+            accountant.finish()
+        if holistic:
+            kernel: HolisticKernel = self.strategy  # type: ignore[assignment]
+            for (table, column), noted in observations.items():
+                ref = ColumnRef(table, column)
+                kernel.monitor.note_many(
+                    ref,
+                    np.asarray(noted[0], dtype=np.float64),
+                    np.asarray(noted[1], dtype=np.float64),
+                    noted[2],
+                )
+                kernel.ranking.note_queries(ref, len(noted[2]))
+        return results  # type: ignore[return-value]

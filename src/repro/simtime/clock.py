@@ -108,6 +108,17 @@ class SimClock:
             self._lane_tls.lane = lane
         return lane
 
+    def fork(self) -> "SimClock":
+        """An independent zero-origin clock sharing this clock's model.
+
+        Serving lanes (ISSUE 5): each client of the concurrent serving
+        front-end accounts its queries on its own serial fork, so
+        per-client time is what that client would have measured running
+        alone, while the parent clock keeps tracking shared work
+        (background tuning, update merges).
+        """
+        return SimClock(self.model)
+
     def now(self) -> float:
         if self._parallel:
             lane = self._lanes.get(self.current_lane(), 0.0)

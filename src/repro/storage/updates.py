@@ -65,6 +65,12 @@ class PendingUpdates:
         :meth:`stage_inserts` does), so a range consumption always
         removes matching (position, value) pairs.
 
+        A base position can only die once: duplicates within the batch
+        and positions already staged are dropped here, so a row deleted
+        twice before any merge is not double-counted when a range
+        consumption later removes it.  Returns how many positions were
+        actually staged (after dedup).
+
         Raises:
             SchemaError: if positions and values differ in length.
         """
@@ -77,6 +83,18 @@ class PendingUpdates:
             )
         if len(pos) == 0:
             return 0
+        _, first_seen = np.unique(pos, return_index=True)
+        if len(first_seen) != len(pos):
+            keep = np.sort(first_seen)
+            pos = pos[keep]
+            vals = vals[keep]
+        if len(self._delete_positions):
+            fresh = ~np.isin(pos, self._delete_positions)
+            if not fresh.all():
+                pos = pos[fresh]
+                vals = vals[fresh]
+                if len(pos) == 0:
+                    return 0
         order = np.argsort(vals, kind="stable")
         vals = vals[order]
         pos = pos[order]

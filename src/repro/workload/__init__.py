@@ -6,6 +6,12 @@ from repro.workload.generators import (
     SkewedRangeGenerator,
     UniformRangeGenerator,
 )
+from repro.workload.multiclient import (
+    ClientWorkload,
+    make_closed_loop_clients,
+    make_open_loop_clients,
+    parameterized_queries,
+)
 from repro.workload.patterns import (
     Exp1Pattern,
     Exp2Pattern,
@@ -20,6 +26,7 @@ from repro.workload.stream import (
 )
 
 __all__ = [
+    "ClientWorkload",
     "Exp1Pattern",
     "Exp2Pattern",
     "IdleEvent",
@@ -30,6 +37,9 @@ __all__ = [
     "UniformRangeGenerator",
     "WorkloadEvent",
     "interleave_idle",
+    "make_closed_loop_clients",
+    "make_open_loop_clients",
+    "parameterized_queries",
     "run_stream",
     "verify_table_matches",
 ]

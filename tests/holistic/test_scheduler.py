@@ -85,3 +85,21 @@ def test_refinement_progresses_piece_counts():
     scheduler.run_actions(20)
     after = [s.index.piece_count for s in states]
     assert all(b > a for a, b in zip(before, after))
+
+
+def test_merge_keeps_first_nonempty_stop_reason():
+    """Regression: merging a report with an empty stop_reason used to
+    erase the reason already recorded."""
+    from repro.holistic.scheduler import TuningReport
+
+    lifetime = TuningReport()
+    first = TuningReport(actions_attempted=3, stop_reason="time budget exhausted")
+    lifetime.merge(first)
+    lifetime.merge(TuningReport(actions_attempted=1, stop_reason=""))
+    assert lifetime.stop_reason == "time budget exhausted"
+    # An empty accumulator still adopts the first real reason it sees.
+    fresh = TuningReport()
+    fresh.merge(TuningReport(stop_reason=""))
+    assert fresh.stop_reason == ""
+    fresh.merge(TuningReport(stop_reason="all candidates refined"))
+    assert fresh.stop_reason == "all candidates refined"

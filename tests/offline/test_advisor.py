@@ -80,3 +80,26 @@ def test_benefit_per_build_second_ordering(advisor):
     report = advisor.advise(workload)
     benefits = [r.benefit_per_build_second for r in report.recommended]
     assert benefits == sorted(benefits, reverse=True)
+
+
+def test_zero_cost_zero_benefit_is_not_infinitely_attractive():
+    """Regression: a free build with no benefit returned inf and could
+    outrank genuinely beneficial candidates in the greedy pick."""
+    from repro.offline.advisor import Recommendation
+
+    useless = Recommendation(ColumnRef("R", "A1"), 0.0, 0.0)
+    useful = Recommendation(ColumnRef("R", "A2"), 5.0, 2.0)
+    assert useless.benefit_per_build_second == 0.0
+    assert (
+        useful.benefit_per_build_second
+        > useless.benefit_per_build_second
+    )
+    # A free build that does buy time still ranks above everything.
+    free_win = Recommendation(ColumnRef("R", "A3"), 1.0, 0.0)
+    assert free_win.benefit_per_build_second == float("inf")
+    ranked = sorted(
+        [useless, useful, free_win],
+        key=lambda r: r.benefit_per_build_second,
+        reverse=True,
+    )
+    assert [r.ref.column for r in ranked] == ["A3", "A2", "A1"]

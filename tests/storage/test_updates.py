@@ -113,3 +113,24 @@ def test_stage_deletes_keeps_positions_aligned_across_batches():
     taken = pending.take_deletes_in_range(90, 310)
     assert taken.tolist() == [100, 300]
     assert pending._delete_positions.tolist() == [13, 10]
+
+
+def test_stage_deletes_dedupes_double_staged_positions():
+    """Regression: staging the same base position twice before any
+    merge used to double-count the removal during range consumption."""
+    import numpy as np
+
+    from repro.storage.dtypes import INT64
+    from repro.storage.updates import PendingUpdates
+
+    pending = PendingUpdates(INT64)
+    # Duplicate inside one batch.
+    assert pending.stage_deletes([7, 7], [40, 40]) == 1
+    # Duplicate across batches (plus one genuinely fresh position).
+    assert pending.stage_deletes([7, 8], [40, 60]) == 1
+    assert pending.pending_delete_count == 2
+    assert pending.deleted_values.tolist() == [40, 60]
+    assert pending._delete_positions.tolist() == [7, 8]
+    taken = pending.take_deletes_in_range(0, 100)
+    assert taken.tolist() == [40, 60]
+    assert pending.pending_delete_count == 0
