@@ -1,0 +1,581 @@
+"""Mixed read/write wall-clock benchmark with a differential oracle.
+
+Every committed bench before this one (hotpath, e2e, serve) measured a
+read-mostly integer scan workload -- ROADMAP open item 5 calls updates
+the biggest untested surface.  This harness sweeps read/write mixes
+from 95/5 to 50/50 and pushes every mix through **all** of the
+kernel's execution paths, with sustained inserts/deletes interleaved
+into the stream:
+
+* ``adaptive/sequential`` -- per-query cracking + ``apply_pending``;
+* ``adaptive/batched``   -- the shared-work batch loop (ISSUE 4);
+* ``maintained/ripple``  -- ``MaintainedCrackerIndex``: delta stores
+  physically consumed by ripple merges on every overlapping select;
+* ``holistic/serving``   -- the multi-client serving loop (ISSUE 5),
+  updates staged between windows;
+* ``holistic_workers/serving`` -- the same with ``num_workers>0``
+  tuning workers racing the serving loop.
+
+Each mix also runs the naive sorted-array reference engine, and every
+engine run must reproduce the reference's per-query result multisets
+bit for bit (:mod:`repro.bench.oracle`) -- the throughput table doubles
+as a correctness proof.  Two dormant scenarios ride along: a
+``float64`` column (F1) flows through the vectorized crack kernels in
+every mix, and a first wall-clock measurement of sideways cracking's
+multi-column select-project against the scan positional join.  A
+COLT-vs-holistic shootout under workload drift closes the suite.
+
+Usage::
+
+    python -m repro.bench mixed            # 120k rows, 1.2k ops/mix
+    python -m repro.bench mixed --quick    # CI-sized run
+    python -m repro.bench mixed --check BENCH_mixed_quick.json
+
+Results land in ``BENCH_mixed.json`` (``--out`` to change); ``--check``
+compares against a committed baseline and exits non-zero on a >2x
+throughput regression or any fingerprint divergence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.oracle import (
+    reference_results,
+    replay_batched,
+    replay_maintained,
+    replay_sequential,
+    replay_serving,
+)
+from repro.cracking.sideways import SidewaysCrackerIndex
+from repro.engine.session import make_strategy
+from repro.serving import ServingFrontend
+from repro.simtime.clock import SimClock
+from repro.storage.catalog import ColumnRef
+from repro.storage.database import Database
+from repro.storage.loader import (
+    build_paper_table,
+    generate_uniform_float_column,
+)
+from repro.workload.generators import UniformRangeGenerator
+from repro.workload.patterns import MixedPattern
+
+REGRESSION_LIMIT = 2.0
+
+DEFAULT_ROWS = 120_000
+DEFAULT_OPS = 1_200
+QUICK_ROWS = 40_000
+QUICK_OPS = 300
+
+#: Write share of each swept mix; 0.05 is the 95/5 read-mostly mix,
+#: 0.50 the 50/50 update-heavy extreme.
+MIXES = (0.05, 0.20, 0.35, 0.50)
+QUICK_MIXES = (0.05, 0.50)
+
+_COLUMNS = ("A1", "A2", "F1")
+_VALUE_LOW = 1.0
+_VALUE_HIGH = 100_000_000.0
+_SELECTIVITY = 0.01
+_BATCH_SIZE = 16
+_BURST = 4
+_WINDOW = 24
+_CLIENTS = 2
+_TUNING_ACTIONS = 400
+
+
+def _fresh_db(rows: int, seed: int) -> Database:
+    """R(A1, A2: int64; F1: float64) -- the float column exercises the
+    crack kernels' real-valued path in every scenario."""
+    db = Database(clock=SimClock())
+    table = build_paper_table(rows=rows, columns=2, seed=seed)
+    table.add_column(
+        generate_uniform_float_column(
+            "F1",
+            rows=rows,
+            low=_VALUE_LOW,
+            high=_VALUE_HIGH,
+            seed=seed + 9,
+        )
+    )
+    db.add_table(table)
+    return db
+
+
+def _pattern(mix: float, ops: int, seed: int, drift: float = 0.0) -> MixedPattern:
+    return MixedPattern(
+        columns=list(_COLUMNS),
+        domain_low=_VALUE_LOW,
+        domain_high=_VALUE_HIGH,
+        op_count=ops,
+        write_ratio=mix,
+        insert_fraction=0.5,
+        batch_size=_BATCH_SIZE,
+        burst=_BURST,
+        drift=drift,
+        selectivity=_SELECTIVITY,
+        seed=seed + int(mix * 100) + int(drift * 7),
+    )
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """One (mix, engine path) measurement."""
+
+    name: str
+    wall_s: float
+    ops: int
+    fingerprint: dict[str, object]
+    matches_reference: bool
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_s <= 0:
+            return float("inf")
+        return self.ops / self.wall_s
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "ops": self.ops,
+            "unit": "trace ops",
+            "throughput": round(self.throughput, 3),
+            "fingerprint": self.fingerprint,
+            "matches_reference": self.matches_reference,
+        }
+
+
+def _run_mode(
+    mode: str,
+    mix_name: str,
+    rows: int,
+    seed: int,
+    trace,
+    expected,
+    reference,
+) -> ScenarioResult:
+    """Execute one engine path over the trace, oracle-checked."""
+    name = f"{mix_name}/{mode}"
+    db = _fresh_db(rows, seed)
+    started = time.perf_counter()
+    if mode == "reference/naive":
+        _, fingerprint = reference_results(
+            db, [ColumnRef("R", c) for c in _COLUMNS], trace
+        )
+        run_fp, matches = fingerprint, True
+    elif mode == "adaptive/sequential":
+        run = replay_sequential(
+            db, db.session("adaptive"), trace, expected, reference, name
+        )
+        run_fp, matches = run.fingerprint, run.matches_reference
+    elif mode == "adaptive/batched":
+        run = replay_batched(
+            db,
+            db.session("adaptive"),
+            trace,
+            expected,
+            reference,
+            window=_WINDOW,
+            label=name,
+        )
+        run_fp, matches = run.fingerprint, run.matches_reference
+    elif mode == "maintained/ripple":
+        run = replay_maintained(db, trace, expected, reference, name)
+        run_fp, matches = run.fingerprint, run.matches_reference
+    elif mode in ("holistic/serving", "holistic_workers/serving"):
+        workers = mode == "holistic_workers/serving"
+        options: dict[str, object] = {"seed": seed}
+        if workers:
+            options["num_workers"] = 2
+        kernel = make_strategy("holistic", db, **options)
+        frontend = ServingFrontend(db, kernel)
+        if workers:
+            kernel.start_workers()
+            kernel.submit_tuning(_TUNING_ACTIONS)
+        try:
+            run = replay_serving(
+                db,
+                frontend,
+                trace,
+                expected,
+                reference,
+                clients=_CLIENTS,
+                window=_WINDOW,
+                label=name,
+            )
+        finally:
+            if workers:
+                kernel.drain_workers()
+                kernel.stop_workers()
+        run_fp, matches = run.fingerprint, run.matches_reference
+    else:
+        raise ValueError(f"unknown mixed mode {mode!r}")
+    wall = time.perf_counter() - started
+    return ScenarioResult(name, wall, len(trace), run_fp, matches)
+
+
+_MODES = (
+    "reference/naive",
+    "adaptive/sequential",
+    "adaptive/batched",
+    "maintained/ripple",
+    "holistic/serving",
+    "holistic_workers/serving",
+)
+
+
+def _run_shootout(
+    strategy: str, rows: int, ops: int, seed: int, trace, expected, reference
+) -> tuple[ScenarioResult, float, float]:
+    """One sequential session under the drifting mixed trace; returns
+    the scenario plus its virtual (total response, clock) readings."""
+    name = f"drift/{strategy}/sequential"
+    db = _fresh_db(rows, seed)
+    session = db.session(strategy, **({"seed": seed} if strategy == "holistic" else {}))
+    started = time.perf_counter()
+    run = replay_sequential(db, session, trace, expected, reference, name)
+    wall = time.perf_counter() - started
+    result = ScenarioResult(
+        name, wall, len(trace), run.fingerprint, run.matches_reference
+    )
+    return result, session.report.total_response_s, db.clock.now()
+
+
+def _sideways_scenarios(
+    rows: int, queries: int, seed: int
+) -> tuple[ScenarioResult, ScenarioResult, bool]:
+    """First wall-clock numbers for sideways select-project.
+
+    ``sideways/select_project`` answers ``SELECT A2 WHERE low <= A1 <
+    high`` from a cracker map; ``scan/select_project`` is the baseline
+    positional join (full predicate scan + gather).  Both fingerprints
+    must agree -- the multi-column analogue of the oracle gate.
+    """
+    table = build_paper_table(rows=rows, columns=2, seed=seed + 3)
+    generator = UniformRangeGenerator(
+        ColumnRef("R", "A1"),
+        _VALUE_LOW,
+        _VALUE_HIGH,
+        selectivity=_SELECTIVITY,
+        seed=seed + 31,
+    )
+    bounds = [(q.low, q.high) for q in generator.queries(queries)]
+    head = table.column("A1").values
+    tail = table.column("A2").values
+
+    scan_state = hashlib.sha256()
+    scan_rows = 0
+    started = time.perf_counter()
+    for i, (low, high) in enumerate(bounds):
+        projected = np.sort(tail[(head >= low) & (head < high)])
+        scan_state.update(np.int64(i).tobytes())
+        scan_state.update(projected.astype(np.float64).tobytes())
+        scan_rows += len(projected)
+    scan_wall = time.perf_counter() - started
+
+    index = SidewaysCrackerIndex(table, "A1", clock=SimClock())
+    side_state = hashlib.sha256()
+    side_rows = 0
+    started = time.perf_counter()
+    for i, (low, high) in enumerate(bounds):
+        projected = np.sort(index.select_project(low, high, "A2").values())
+        side_state.update(np.int64(i).tobytes())
+        side_state.update(projected.astype(np.float64).tobytes())
+        side_rows += len(projected)
+    side_wall = time.perf_counter() - started
+    index.check_invariants()
+
+    scan_fp = {
+        "queries": queries,
+        "updates": 0,
+        "result_rows": scan_rows,
+        "result_sha256": scan_state.hexdigest(),
+    }
+    side_fp = {
+        "queries": queries,
+        "updates": 0,
+        "result_rows": side_rows,
+        "result_sha256": side_state.hexdigest(),
+    }
+    agree = scan_fp["result_sha256"] == side_fp["result_sha256"]
+    return (
+        ScenarioResult(
+            "sideways/scan/select_project", scan_wall, queries, scan_fp, agree
+        ),
+        ScenarioResult(
+            "sideways/cracked/select_project",
+            side_wall,
+            queries,
+            side_fp,
+            agree,
+        ),
+        agree,
+    )
+
+
+def run_mixed(
+    rows: int = DEFAULT_ROWS,
+    ops: int = DEFAULT_OPS,
+    seed: int = 42,
+    mode: str = "full",
+    repeats: int = 3,
+    mixes: tuple[float, ...] | None = None,
+) -> dict[str, object]:
+    """Run the sweep; return the JSON-ready document.
+
+    Repeats are interleaved across the whole matrix (best wall clock
+    per scenario; fingerprints must agree across repeats).  Every
+    engine scenario is oracle-checked against the serial reference --
+    a divergence raises immediately inside the driver and is also
+    recorded as ``matches_reference`` for the CI gate.
+    """
+    if mixes is None:
+        mixes = QUICK_MIXES if mode == "quick" else MIXES
+    mix_names = {mix: f"mix{int(round(mix * 100)):02d}" for mix in mixes}
+    # Traces and expected results are deterministic per seed: compute
+    # once, reuse across modes and repeats.
+    cases = {}
+    for mix in mixes:
+        pattern = _pattern(mix, ops, seed)
+        db0 = _fresh_db(rows, seed)
+        trace = pattern.ops(db0.table("R"))
+        expected, reference = reference_results(
+            db0, pattern.refs(), trace
+        )
+        cases[mix] = (trace, expected, reference)
+    drift_pattern = _pattern(0.2, ops, seed, drift=1.0)
+    db0 = _fresh_db(rows, seed)
+    drift_trace = drift_pattern.ops(db0.table("R"))
+    drift_expected, drift_reference = reference_results(
+        db0, drift_pattern.refs(), drift_trace
+    )
+
+    scenarios: dict[str, ScenarioResult] = {}
+    shootout_virtual: dict[str, dict[str, float]] = {}
+
+    def record(result: ScenarioResult) -> None:
+        best = scenarios.get(result.name)
+        if best is None:
+            scenarios[result.name] = result
+        else:
+            if best.fingerprint != result.fingerprint:
+                raise AssertionError(
+                    f"{result.name}: non-deterministic fingerprint "
+                    "across repeats"
+                )
+            if result.wall_s < best.wall_s:
+                scenarios[result.name] = result
+
+    for _ in range(max(1, repeats)):
+        for mix in mixes:
+            trace, expected, reference = cases[mix]
+            for engine_mode in _MODES:
+                record(
+                    _run_mode(
+                        engine_mode,
+                        mix_names[mix],
+                        rows,
+                        seed,
+                        trace,
+                        expected,
+                        reference,
+                    )
+                )
+        for strategy in ("online", "holistic"):
+            result, response_s, now = _run_shootout(
+                strategy, rows, ops, seed, drift_trace, drift_expected,
+                drift_reference,
+            )
+            record(result)
+            shootout_virtual[strategy] = {
+                "virtual_total_response_s": response_s,
+                "virtual_now": now,
+            }
+        scan_result, side_result, sideways_ok = _sideways_scenarios(
+            rows, max(ops // 2, 20), seed
+        )
+        record(scan_result)
+        record(side_result)
+
+    matches = {
+        name: result.matches_reference
+        for name, result in sorted(scenarios.items())
+    }
+    online = shootout_virtual["online"]["virtual_total_response_s"]
+    holistic = shootout_virtual["holistic"]["virtual_total_response_s"]
+    return {
+        "schema": "mixed-v1",
+        "config": {
+            "rows": rows,
+            "ops_per_mix": ops,
+            "columns": list(_COLUMNS),
+            "seed": seed,
+            "mode": mode,
+            "mixes": [round(m, 2) for m in mixes],
+            "window": _WINDOW,
+            "clients": _CLIENTS,
+            "batch_size": _BATCH_SIZE,
+            "burst": _BURST,
+            "selectivity": _SELECTIVITY,
+        },
+        "scenarios": {
+            name: result.as_dict()
+            for name, result in sorted(scenarios.items())
+        },
+        "oracle_matches_reference": matches,
+        "sideways_equals_scan": sideways_ok,
+        "shootout": {
+            "workload": "drifting hot window, 80/20 read/write",
+            "online": {
+                k: round(float(v), 6)
+                for k, v in shootout_virtual["online"].items()
+            },
+            "holistic": {
+                k: round(float(v), 6)
+                for k, v in shootout_virtual["holistic"].items()
+            },
+            "virtual_response_ratio_online_vs_holistic": round(
+                online / holistic, 3
+            )
+            if holistic
+            else None,
+        },
+    }
+
+
+def mixed_text(result: dict[str, object]) -> str:
+    """Human-readable rendering of a mixed run."""
+    config = result["config"]
+    lines = [
+        "Mixed read/write benchmark "
+        f"({config['rows']:,} rows x {len(config['columns'])} columns "
+        f"(incl. float64 F1), {config['ops_per_mix']:,} ops/mix, "
+        f"mode={config['mode']})",
+        f"{'scenario':<36} {'wall s':>9} {'ops/s':>10} {'oracle':>7}",
+    ]
+    for name, data in result["scenarios"].items():
+        ok = "ok" if data["matches_reference"] else "DIVERGED"
+        lines.append(
+            f"{name:<36} {data['wall_s']:>9.3f} "
+            f"{data['throughput']:>10.1f} {ok:>7}"
+        )
+    shootout = result.get("shootout", {})
+    ratio = shootout.get("virtual_response_ratio_online_vs_holistic")
+    if ratio is not None:
+        lines.append("")
+        lines.append(
+            "COLT-vs-holistic under drift: online cumulative response = "
+            f"{ratio:.2f}x holistic's"
+        )
+    lines.append(
+        "sideways == scan fingerprints: "
+        + ("yes" if result.get("sideways_equals_scan") else "NO")
+    )
+    return "\n".join(lines)
+
+
+_SEMANTIC_KEYS = ("queries", "updates", "result_rows", "result_sha256")
+
+
+def check_regression(
+    current: dict[str, object], committed: dict[str, object]
+) -> list[str]:
+    """Gate a fresh run against a committed baseline document."""
+    failures: list[str] = []
+    for name, ok in current.get("oracle_matches_reference", {}).items():
+        if not ok:
+            failures.append(
+                f"{name}: result fingerprint diverged from the serial "
+                "reference engine within this run"
+            )
+    if not current.get("sideways_equals_scan", True):
+        failures.append(
+            "sideways/cracked/select_project: fingerprint diverged from "
+            "the scan positional join"
+        )
+    committed_scenarios = committed.get("scenarios", {})
+    same_config = committed.get("config", {}) == current.get("config", {})
+    for name, data in current.get("scenarios", {}).items():
+        base = committed_scenarios.get(name)
+        if base is None:
+            continue
+        base_tp = float(base.get("throughput", 0.0))
+        cur_tp = float(data.get("throughput", 0.0))
+        if base_tp > 0 and cur_tp > 0 and base_tp / cur_tp > REGRESSION_LIMIT:
+            failures.append(
+                f"{name}: throughput regressed "
+                f"{base_tp / cur_tp:.2f}x ({base_tp:.1f} -> {cur_tp:.1f} "
+                f"ops/s, limit {REGRESSION_LIMIT}x)"
+            )
+        if not same_config:
+            continue
+        base_fp = base.get("fingerprint", {})
+        fingerprint = data.get("fingerprint", {})
+        for fp_key in _SEMANTIC_KEYS:
+            if fp_key in base_fp and base_fp.get(fp_key) != fingerprint.get(
+                fp_key
+            ):
+                failures.append(
+                    f"{name}.{fp_key}: fingerprint diverged from "
+                    f"committed baseline (expected {base_fp[fp_key]!r}, "
+                    f"got {fingerprint.get(fp_key)!r})"
+                )
+    return failures
+
+
+def run_mixed_command(
+    rows: int | None,
+    ops: int | None,
+    seed: int,
+    quick: bool,
+    out: str | None,
+    check_path: str | None,
+    repeats: int = 3,
+) -> tuple[str, int]:
+    """CLI driver for ``python -m repro.bench mixed``.
+
+    Returns ``(text_output, exit_code)``.
+    """
+    mode = "quick" if quick else "full"
+    rows = rows if rows is not None else (QUICK_ROWS if quick else DEFAULT_ROWS)
+    ops = ops if ops is not None else (QUICK_OPS if quick else DEFAULT_OPS)
+    result = run_mixed(
+        rows=rows, ops=ops, seed=seed, mode=mode, repeats=repeats
+    )
+    exit_code = 0
+    check_lines: list[str] = []
+    diverged = [
+        name
+        for name, ok in result.get("oracle_matches_reference", {}).items()
+        if not ok
+    ]
+    if not result.get("sideways_equals_scan", True):
+        diverged.append("sideways/cracked/select_project")
+    if diverged and not check_path:
+        # Oracle equality is a correctness claim, not a perf one: fail
+        # even without a committed baseline to compare against.
+        exit_code = 1
+        check_lines = [
+            "",
+            "MIXED ORACLE FAILURES:",
+            *[f"{name}: engine != reference" for name in diverged],
+        ]
+    if check_path:
+        committed = json.loads(Path(check_path).read_text())
+        failures = check_regression(result, committed)
+        if failures:
+            exit_code = 1
+            check_lines = ["", "MIXED PERF-SMOKE FAILURES:", *failures]
+        else:
+            check_lines = ["", "mixed perf-smoke gate passed"]
+    out_path = Path(out) if out else Path("BENCH_mixed.json")
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    text = mixed_text(result) + "\n" + f"wrote {out_path}"
+    if check_lines:
+        text += "\n" + "\n".join(check_lines)
+    return text, exit_code

@@ -14,6 +14,7 @@ Usage::
     python -m repro.bench ablation-cache
     python -m repro.bench ablation-batch
     python -m repro.bench hotpath --quick
+    python -m repro.bench mixed --quick
     python -m repro.bench all
 
 Every command prints the rows/series of the corresponding paper
@@ -69,6 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "hotpath",
             "e2e",
             "serve",
+            "mixed",
             "all",
         ],
         help="which artefact to regenerate",
@@ -111,7 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rows", type=int, default=None, help="benchmark row count"
     )
     wallclock.add_argument(
-        "--queries", type=int, default=None, help="benchmark query count"
+        "--queries",
+        type=int,
+        default=None,
+        help="benchmark query count (mixed: trace ops per mix)",
     )
     wallclock.add_argument(
         "--repeats",
@@ -177,6 +182,23 @@ def main(argv: list[str] | None = None) -> int:
         text, exit_code = run_serve_command(
             rows=args.rows,
             queries=args.queries,
+            seed=args.seed,
+            quick=args.quick,
+            out=args.out,
+            check_path=args.check,
+            repeats=args.repeats,
+        )
+        print(text)
+        return exit_code
+
+    if args.command == "mixed":
+        from repro.bench.mixed import run_mixed_command
+
+        if args.baseline_json:
+            parser.error("--baseline-json only applies to hotpath")
+        text, exit_code = run_mixed_command(
+            rows=args.rows,
+            ops=args.queries,
             seed=args.seed,
             quick=args.quick,
             out=args.out,

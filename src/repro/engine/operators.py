@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.simtime.charge import CostCharge
 from repro.simtime.clock import Clock
-from repro.storage.updates import PendingUpdates
+from repro.storage.updates import PendingUpdates, exact_range_cuts
 from repro.storage.views import (
     MaterializedResult,
     PositionsView,
@@ -170,10 +170,13 @@ class PendingWindow:
         deletes = pending.deleted_values
         self._inserts = inserts
         self._deletes = deletes
-        self._ins_lo = inserts.searchsorted(lows, side="left")
-        self._ins_hi = inserts.searchsorted(highs, side="left")
-        self._del_lo = deletes.searchsorted(lows, side="left")
-        self._del_hi = deletes.searchsorted(highs, side="left")
+        # exact_range_cuts, not raw searchsorted: integer stores need
+        # exact int64 keys so the window agrees with the sequential
+        # path at float bounds beyond 2^53.
+        self._ins_lo = exact_range_cuts(inserts, lows)
+        self._ins_hi = exact_range_cuts(inserts, highs)
+        self._del_lo = exact_range_cuts(deletes, lows)
+        self._del_hi = exact_range_cuts(deletes, highs)
         self._overlaps = (self._ins_hi > self._ins_lo) | (
             self._del_hi > self._del_lo
         )

@@ -16,7 +16,13 @@ import numpy as np
 
 from repro.errors import SchemaError, WorkloadError
 from repro.storage.column import Column
-from repro.storage.dtypes import INT32, INT64, ColumnType, type_by_name
+from repro.storage.dtypes import (
+    FLOAT64,
+    INT32,
+    INT64,
+    ColumnType,
+    type_by_name,
+)
 from repro.storage.table import Table
 
 
@@ -44,6 +50,31 @@ def generate_uniform_column(
     rng = np.random.default_rng(seed)
     values = rng.integers(low, high + 1, size=rows, dtype=np.int64)
     return Column(name, values, ctype)
+
+
+def generate_uniform_float_column(
+    name: str,
+    rows: int,
+    low: float = 1.0,
+    high: float = 100_000_000.0,
+    seed: int | None = None,
+) -> Column:
+    """A ``float64`` column of ``rows`` uniform reals in ``[low, high)``.
+
+    The paper's experiments are integer-only; this generator feeds the
+    mixed-workload bench's float64 scenario, which pushes real-valued
+    columns through the same vectorized crack kernels.
+
+    Raises:
+        WorkloadError: if ``rows`` is negative or the range is empty.
+    """
+    if rows < 0:
+        raise WorkloadError(f"rows must be >= 0, got {rows}")
+    if high <= low:
+        raise WorkloadError(f"empty value range [{low}, {high})")
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(low, high, size=rows)
+    return Column(name, values, FLOAT64)
 
 
 def generate_zipf_column(

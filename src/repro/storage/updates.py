@@ -19,6 +19,48 @@ import numpy as np
 from repro.errors import SchemaError
 from repro.storage.dtypes import ColumnType, coerce_array
 
+#: First float at/above any int64 (2^63 is exactly representable).
+_INT64_MAX_F = 2.0**63
+#: int64 min, exactly representable as a float.
+_INT64_MIN_F = -(2.0**63)
+
+
+def exact_range_cuts(store: np.ndarray, bounds: object) -> np.ndarray:
+    """Index of the first element ``>= bound`` per bound, exactly.
+
+    ``np.searchsorted(int_store, float_bound)`` promotes the *store* to
+    float64, which rounds stored values beyond 2^53 onto the bound and
+    makes the binary search disagree with exact ``low <= v < high``
+    comparisons.  For integer stores the bounds are converted to exact
+    int64 search keys instead (an integer ``v`` satisfies ``v >= b``
+    iff ``v >= ceil(b)``); float stores compare float-to-float, which
+    is already exact.  NaN bounds match nothing; bounds beyond the
+    int64 range clamp to the store's ends.
+    """
+    keys = np.asarray(bounds)
+    scalar = keys.ndim == 0
+    keys = np.atleast_1d(keys)
+    if store.dtype.kind != "i":
+        cuts = store.searchsorted(
+            keys.astype(np.float64, copy=False), side="left"
+        )
+    elif keys.dtype.kind in "iu":
+        # Integer bounds against an integer store: already exact.
+        cuts = store.searchsorted(keys, side="left")
+    else:
+        keys = np.ceil(keys.astype(np.float64, copy=False))
+        cuts = np.empty(len(keys), dtype=np.int64)
+        above = np.isnan(keys) | (keys >= _INT64_MAX_F)
+        below = keys < _INT64_MIN_F
+        mid = ~(above | below)
+        cuts[above] = len(store)
+        cuts[below] = 0
+        if mid.any():
+            cuts[mid] = store.searchsorted(
+                keys[mid].astype(np.int64), side="left"
+            )
+    return cuts[0] if scalar else cuts
+
 
 class PendingUpdates:
     """Pending inserts and deletes for a single column.
@@ -136,14 +178,14 @@ class PendingUpdates:
 
     def inserts_in_range(self, low: float, high: float) -> np.ndarray:
         """Pending inserted values v with ``low <= v < high`` (sorted)."""
-        lo = np.searchsorted(self._insert_values, low, side="left")
-        hi = np.searchsorted(self._insert_values, high, side="left")
+        lo = exact_range_cuts(self._insert_values, low)
+        hi = exact_range_cuts(self._insert_values, high)
         return self._insert_values[lo:hi]
 
     def deletes_in_range(self, low: float, high: float) -> np.ndarray:
         """Pending deleted values v with ``low <= v < high`` (sorted)."""
-        lo = np.searchsorted(self._deleted_values, low, side="left")
-        hi = np.searchsorted(self._deleted_values, high, side="left")
+        lo = exact_range_cuts(self._deleted_values, low)
+        hi = exact_range_cuts(self._deleted_values, high)
         return self._deleted_values[lo:hi]
 
     # -- consumption ---------------------------------------------------
@@ -155,8 +197,8 @@ class PendingUpdates:
         merging a value range takes exactly the pending entries it is
         about to absorb.
         """
-        lo = np.searchsorted(self._insert_values, low, side="left")
-        hi = np.searchsorted(self._insert_values, high, side="left")
+        lo = exact_range_cuts(self._insert_values, low)
+        hi = exact_range_cuts(self._insert_values, high)
         taken = self._insert_values[lo:hi].copy()
         self._insert_values = np.delete(
             self._insert_values, np.s_[lo:hi]
@@ -165,8 +207,8 @@ class PendingUpdates:
 
     def take_deletes_in_range(self, low: float, high: float) -> np.ndarray:
         """Remove and return pending deleted values in ``[low, high)``."""
-        lo = np.searchsorted(self._deleted_values, low, side="left")
-        hi = np.searchsorted(self._deleted_values, high, side="left")
+        lo = exact_range_cuts(self._deleted_values, low)
+        hi = exact_range_cuts(self._deleted_values, high)
         taken = self._deleted_values[lo:hi].copy()
         self._deleted_values = np.delete(
             self._deleted_values, np.s_[lo:hi]

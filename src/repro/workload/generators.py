@@ -10,7 +10,8 @@ cracking [10]).
 
 from __future__ import annotations
 
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
 
 import numpy as np
 
@@ -156,6 +157,184 @@ class SequentialRangeGenerator:
     def queries(self, count: int) -> Iterator[RangeQuery]:
         for _ in range(count):
             yield self.next_query()
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One step of an interleaved read/write trace.
+
+    ``kind`` is ``"query"`` (range select over ``[low, high)``),
+    ``"insert"`` (stage ``values`` into the column's delta store) or
+    ``"delete"`` (stage base ``positions`` with their ``values``).
+    Payloads are tuples so ops are immutable and comparable -- the
+    determinism tests diff whole traces.
+    """
+
+    kind: str
+    ref: ColumnRef
+    low: float = 0.0
+    high: float = 0.0
+    values: tuple = ()
+    positions: tuple[int, ...] = field(default=())
+
+    @property
+    def is_query(self) -> bool:
+        return self.kind == "query"
+
+
+class MixedTraceGenerator:
+    """A seeded interleaved read/write trace over several columns.
+
+    Three knobs shape the stream (all default off):
+
+    * ``write_ratio`` -- fraction of ops that are updates (the bench's
+      95/5 .. 50/50 read/write mixes);
+    * ``burst`` -- updates arrive in runs of this length instead of
+      uniformly (bulk loads between dashboard refreshes);
+    * ``drift`` -- query positions concentrate in a hot window that
+      travels ``drift`` domain-widths over the trace (the workload
+      shift that punishes COLT-style threshold indexing).
+
+    Inserted values are uniform over the domain (integers for integer
+    columns); delete victims are base rows sampled *without
+    replacement* per column, so a position is never staged twice --
+    matching :class:`repro.storage.updates.PendingUpdates`'s
+    one-death-per-row contract even after ripple merges consumed
+    earlier stages.
+
+    Raises:
+        WorkloadError: on an empty column set or out-of-range knobs.
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[ColumnRef, np.ndarray],
+        domain_low: float,
+        domain_high: float,
+        write_ratio: float = 0.2,
+        selectivity: float = 0.01,
+        insert_fraction: float = 0.5,
+        batch_size: int = 16,
+        burst: int = 1,
+        drift: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        if not columns:
+            raise WorkloadError("need at least one column to trace")
+        _check_selectivity(selectivity)
+        if not 0.0 <= write_ratio < 1.0:
+            raise WorkloadError(
+                f"write_ratio must be in [0, 1), got {write_ratio}"
+            )
+        if not 0.0 <= insert_fraction <= 1.0:
+            raise WorkloadError(
+                f"insert_fraction must be in [0, 1]: {insert_fraction}"
+            )
+        if batch_size < 1:
+            raise WorkloadError(f"batch_size must be >= 1: {batch_size}")
+        if burst < 1:
+            raise WorkloadError(f"burst must be >= 1: {burst}")
+        if drift < 0.0:
+            raise WorkloadError(f"drift must be >= 0: {drift}")
+        if domain_high <= domain_low:
+            raise WorkloadError(
+                f"empty domain [{domain_low}, {domain_high}]"
+            )
+        self.refs = list(columns)
+        self._values = {ref: columns[ref] for ref in self.refs}
+        self.domain_low = float(domain_low)
+        self.domain_high = float(domain_high)
+        self.write_ratio = write_ratio
+        self.selectivity = selectivity
+        self.insert_fraction = insert_fraction
+        self.batch_size = batch_size
+        self.burst = burst
+        self.drift = drift
+        self._rng = np.random.default_rng(seed)
+        # Per-column shuffled victim streams: consumed left to right,
+        # never reused, so every staged delete position is unique.
+        self._victims = {
+            ref: self._rng.permutation(len(values))
+            for ref, values in self._values.items()
+        }
+        self._victim_cursor = {ref: 0 for ref in self.refs}
+
+    def _pick_ref(self) -> ColumnRef:
+        return self.refs[int(self._rng.integers(0, len(self.refs)))]
+
+    def _query_op(self, position: float) -> TraceOp:
+        span = self.domain_high - self.domain_low
+        width = span * self.selectivity
+        if self.drift > 0.0:
+            hot_width = max(0.25 * span, 2.0 * width)
+            travel = max(span - hot_width, 0.0)
+            offset = (position * self.drift * span) % max(travel, 1e-9)
+            base = self.domain_low + min(offset, travel)
+            low = float(self._rng.uniform(base, base + hot_width - width))
+        else:
+            low = float(
+                self._rng.uniform(self.domain_low, self.domain_high - width)
+            )
+        return TraceOp("query", self._pick_ref(), low, low + width)
+
+    def _insert_op(self, ref: ColumnRef) -> TraceOp:
+        if self._values[ref].dtype.kind == "f":
+            fresh = self._rng.uniform(
+                self.domain_low, self.domain_high, size=self.batch_size
+            )
+            return TraceOp("insert", ref, values=tuple(fresh.tolist()))
+        fresh = self._rng.integers(
+            int(self.domain_low),
+            int(self.domain_high) + 1,
+            size=self.batch_size,
+        )
+        return TraceOp("insert", ref, values=tuple(int(v) for v in fresh))
+
+    def _delete_op(self, ref: ColumnRef) -> TraceOp | None:
+        cursor = self._victim_cursor[ref]
+        victims = self._victims[ref]
+        take = min(self.batch_size, len(victims) - cursor)
+        if take <= 0:
+            return None
+        positions = victims[cursor : cursor + take]
+        self._victim_cursor[ref] = cursor + take
+        values = self._values[ref][positions]
+        return TraceOp(
+            "delete",
+            ref,
+            values=tuple(values.tolist()),
+            positions=tuple(int(p) for p in positions),
+        )
+
+    def ops(self, count: int) -> list[TraceOp]:
+        """Generate ``count`` trace ops (deterministic per seed).
+
+        Raises:
+            WorkloadError: if ``count`` is negative.
+        """
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        trace: list[TraceOp] = []
+        pending_writes = 0
+        while len(trace) < count:
+            if pending_writes == 0 and self._rng.random() < (
+                self.write_ratio / self.burst
+            ):
+                pending_writes = self.burst
+            if pending_writes > 0:
+                pending_writes -= 1
+                ref = self._pick_ref()
+                op: TraceOp | None
+                if self._rng.random() < self.insert_fraction:
+                    op = self._insert_op(ref)
+                else:
+                    # Victim stream exhausted: fall back to an insert
+                    # so the write mix is preserved.
+                    op = self._delete_op(ref) or self._insert_op(ref)
+                trace.append(op)
+            else:
+                trace.append(self._query_op(len(trace) / max(count, 1)))
+        return trace
 
 
 class MultiColumnGenerator:

@@ -20,7 +20,9 @@ from repro.offline.whatif import WorkloadStatement
 from repro.storage.catalog import ColumnRef
 from repro.storage.table import Table
 from repro.workload.generators import (
+    MixedTraceGenerator,
     MultiColumnGenerator,
+    TraceOp,
     UniformRangeGenerator,
 )
 from repro.workload.stream import IdleEvent, QueryEvent, WorkloadEvent
@@ -152,6 +154,82 @@ class Exp2Pattern:
         bench (its length depends on the strategy's build costs)."""
         for query in self.queries():
             yield QueryEvent(query)
+
+
+@dataclass(slots=True)
+class MixedPattern:
+    """An interleaved read/write pattern for the mixed-workload bench.
+
+    Unlike Exp1/Exp2 this is not a paper artefact: it models the
+    update-heavy serving mix the paper's claims must survive (ROADMAP
+    open item 5).  The knobs map straight onto
+    :class:`~repro.workload.generators.MixedTraceGenerator`.
+
+    Attributes:
+        table / columns: the traced columns.
+        domain_low / domain_high: shared value domain.
+        op_count: total trace length (queries + update batches).
+        write_ratio: fraction of ops that are updates (0.05 = 95/5).
+        insert_fraction: insert share among updates; the rest delete.
+        batch_size: values per staged update batch.
+        burst: updates arrive in runs of this length.
+        drift: hot-window travel in domain-widths over the trace.
+        selectivity: per-query selectivity.
+        seed: trace RNG seed.
+    """
+
+    table: str = "R"
+    columns: list[str] = field(default_factory=lambda: ["A1", "A2"])
+    domain_low: float = 1.0
+    domain_high: float = 100_000_000.0
+    op_count: int = 1_000
+    write_ratio: float = 0.2
+    insert_fraction: float = 0.5
+    batch_size: int = 16
+    burst: int = 1
+    drift: float = 0.0
+    selectivity: float = 0.01
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise WorkloadError("MixedPattern needs at least one column")
+        if self.op_count < 0:
+            raise WorkloadError(
+                f"op_count must be >= 0, got {self.op_count}"
+            )
+
+    def refs(self) -> list[ColumnRef]:
+        return [ColumnRef(self.table, name) for name in self.columns]
+
+    def ops(self, table: Table) -> list[TraceOp]:
+        """Materialize the trace against ``table``'s current columns.
+
+        Raises:
+            WorkloadError: when a referenced column is missing.
+        """
+        for name in self.columns:
+            if not table.has_column(name):
+                raise WorkloadError(
+                    f"table {table.name!r} lacks column {name!r} "
+                    "required by the workload pattern"
+                )
+        generator = MixedTraceGenerator(
+            {
+                ColumnRef(self.table, name): table.column(name).values
+                for name in self.columns
+            },
+            self.domain_low,
+            self.domain_high,
+            write_ratio=self.write_ratio,
+            selectivity=self.selectivity,
+            insert_fraction=self.insert_fraction,
+            batch_size=self.batch_size,
+            burst=self.burst,
+            drift=self.drift,
+            seed=self.seed,
+        )
+        return generator.ops(self.op_count)
 
 
 def verify_table_matches(pattern: Exp1Pattern | Exp2Pattern, table: Table) -> None:

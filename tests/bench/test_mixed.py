@@ -1,0 +1,166 @@
+"""The mixed read/write bench harness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.mixed import (
+    check_regression,
+    mixed_text,
+    run_mixed,
+    run_mixed_command,
+)
+
+_TINY = dict(rows=1_500, ops=40, repeats=1)
+
+
+def _tiny_doc(**overrides):
+    return run_mixed(**{**_TINY, **overrides})
+
+
+def test_run_mixed_document_shape():
+    doc = _tiny_doc(mixes=(0.2,))
+    assert doc["schema"] == "mixed-v1"
+    names = set(doc["scenarios"])
+    for mode in (
+        "reference/naive",
+        "adaptive/sequential",
+        "adaptive/batched",
+        "maintained/ripple",
+        "holistic/serving",
+        "holistic_workers/serving",
+    ):
+        assert f"mix20/{mode}" in names
+    assert "drift/online/sequential" in names
+    assert "drift/holistic/sequential" in names
+    assert "sideways/cracked/select_project" in names
+    for data in doc["scenarios"].values():
+        assert data["throughput"] > 0
+        assert data["matches_reference"]
+        assert set(data["fingerprint"]) == {
+            "queries",
+            "updates",
+            "result_rows",
+            "result_sha256",
+        }
+    # The headline claim: every engine path reproduced the serial
+    # reference bit for bit, including the worker-racing path.
+    assert all(doc["oracle_matches_reference"].values())
+    assert doc["sideways_equals_scan"]
+    ratio = doc["shootout"]["virtual_response_ratio_online_vs_holistic"]
+    assert ratio is not None and ratio > 0
+
+
+def test_engine_modes_share_the_reference_fingerprint():
+    doc = _tiny_doc(mixes=(0.35,))
+    digests = {
+        name: data["fingerprint"]["result_sha256"]
+        for name, data in doc["scenarios"].items()
+        if name.startswith("mix35/")
+    }
+    assert len(set(digests.values())) == 1, digests
+
+
+def test_mixed_text_renders():
+    doc = _tiny_doc(mixes=(0.2,))
+    text = mixed_text(doc)
+    assert "mix20/maintained/ripple" in text
+    assert "ok" in text
+    assert "COLT-vs-holistic" in text
+
+
+def test_check_regression_passes_against_itself():
+    doc = _tiny_doc(mixes=(0.2,))
+    assert check_regression(doc, doc) == []
+
+
+def test_check_regression_flags_throughput_and_fingerprint():
+    doc = _tiny_doc(mixes=(0.2,))
+    committed = json.loads(json.dumps(doc))
+    name = "mix20/adaptive/sequential"
+    committed["scenarios"][name]["throughput"] = (
+        doc["scenarios"][name]["throughput"] * 10
+    )
+    committed["scenarios"]["mix20/maintained/ripple"]["fingerprint"][
+        "result_sha256"
+    ] = "0" * 64
+    failures = check_regression(doc, committed)
+    assert any("regressed" in f for f in failures)
+    assert any("result_sha256" in f for f in failures)
+
+
+def test_check_regression_flags_in_run_divergence():
+    doc = _tiny_doc(mixes=(0.2,))
+    doc["oracle_matches_reference"]["mix20/adaptive/batched"] = False
+    failures = check_regression(doc, doc)
+    assert any("diverged from the serial reference" in f for f in failures)
+
+
+def test_check_regression_skips_fingerprints_across_configs():
+    doc = _tiny_doc(mixes=(0.2,))
+    committed = json.loads(json.dumps(doc))
+    committed["config"]["rows"] = doc["config"]["rows"] + 1
+    committed["scenarios"]["mix20/adaptive/sequential"]["fingerprint"][
+        "result_sha256"
+    ] = "0" * 64
+    assert check_regression(doc, committed) == []
+
+
+def test_run_mixed_command_round_trip(tmp_path):
+    out = tmp_path / "mixed.json"
+    text, code = run_mixed_command(
+        rows=1_500,
+        ops=40,
+        seed=7,
+        quick=True,
+        out=str(out),
+        check_path=None,
+        repeats=1,
+    )
+    assert code == 0
+    assert out.exists()
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "mixed-v1"
+    assert "wrote" in text
+
+    text, code = run_mixed_command(
+        rows=1_500,
+        ops=40,
+        seed=7,
+        quick=True,
+        out=str(tmp_path / "mixed2.json"),
+        check_path=str(out),
+        repeats=1,
+    )
+    assert code == 0
+    assert "gate passed" in text
+
+
+def test_run_mixed_command_fails_on_bad_baseline(tmp_path):
+    out = tmp_path / "mixed.json"
+    _, code = run_mixed_command(
+        rows=1_500,
+        ops=40,
+        seed=7,
+        quick=True,
+        out=str(out),
+        check_path=None,
+        repeats=1,
+    )
+    assert code == 0
+    doc = json.loads(out.read_text())
+    name = next(iter(doc["scenarios"]))
+    doc["scenarios"][name]["throughput"] *= 1000
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(doc))
+    text, code = run_mixed_command(
+        rows=1_500,
+        ops=40,
+        seed=7,
+        quick=True,
+        out=str(tmp_path / "mixed3.json"),
+        check_path=str(bad),
+        repeats=1,
+    )
+    assert code == 1
+    assert "FAILURES" in text

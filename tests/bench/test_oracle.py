@@ -1,0 +1,148 @@
+"""The differential fingerprint oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.session import make_strategy
+from repro.serving import ServingFrontend
+from repro.simtime.clock import SimClock
+from repro.storage.catalog import ColumnRef
+from repro.storage.database import Database
+from repro.storage.loader import (
+    build_paper_table,
+    generate_uniform_float_column,
+)
+from repro.workload.generators import TraceOp
+from repro.workload.patterns import MixedPattern
+from util.oracle import (
+    OracleError,
+    ReferenceEngine,
+    TraceFingerprint,
+    reference_results,
+    replay_batched,
+    replay_maintained,
+    replay_sequential,
+    replay_serving,
+)
+
+A1 = ColumnRef("R", "A1")
+F1 = ColumnRef("R", "F1")
+
+
+def _db(rows: int = 2_000, seed: int = 5) -> Database:
+    db = Database(clock=SimClock())
+    table = build_paper_table(rows=rows, columns=2, seed=seed)
+    table.add_column(
+        generate_uniform_float_column("F1", rows=rows, seed=seed + 9)
+    )
+    db.add_table(table)
+    return db
+
+
+def _trace(db: Database, ops: int = 120, **overrides) -> list[TraceOp]:
+    options = dict(
+        columns=["A1", "A2", "F1"],
+        op_count=ops,
+        write_ratio=0.3,
+        batch_size=8,
+        burst=3,
+        seed=3,
+    )
+    options.update(overrides)
+    return MixedPattern(**options).ops(db.table("R"))
+
+
+def test_reference_engine_matches_brute_force() -> None:
+    db = _db(rows=300)
+    engine = ReferenceEngine(db, [A1])
+    base = db.column("R", "A1").values.copy()
+    engine.apply(TraceOp("insert", A1, values=(7, 500_000)))
+    engine.apply(
+        TraceOp(
+            "delete",
+            A1,
+            values=(int(base[3]), int(base[9])),
+            positions=(3, 9),
+        )
+    )
+    got = engine.apply(TraceOp("query", A1, 0.0, 1e9))
+    alive = np.delete(base, [3, 9])
+    want = np.sort(np.concatenate([alive, [7, 500_000]]))
+    assert np.array_equal(got, want)
+
+
+def test_fingerprint_is_order_sensitive() -> None:
+    a, b = TraceFingerprint(), TraceFingerprint()
+    a.note_query(np.array([1, 2]))
+    a.note_query(np.array([3]))
+    b.note_query(np.array([3]))
+    b.note_query(np.array([1, 2]))
+    assert a.as_dict()["result_sha256"] != b.as_dict()["result_sha256"]
+
+
+def test_fingerprint_normalizes_dtype() -> None:
+    a, b = TraceFingerprint(), TraceFingerprint()
+    a.note_query(np.array([1, 2], dtype=np.int32))
+    b.note_query(np.array([1, 2], dtype=np.int64))
+    assert a.as_dict()["result_sha256"] == b.as_dict()["result_sha256"]
+
+
+def test_all_drivers_match_reference() -> None:
+    db0 = _db()
+    trace = _trace(db0)
+    refs = [ColumnRef("R", c) for c in ("A1", "A2", "F1")]
+    expected, reference = reference_results(db0, refs, trace)
+    assert reference["queries"] + reference["updates"] == len(trace)
+
+    runs = {}
+    db = _db()
+    runs["sequential"] = replay_sequential(
+        db, db.session("adaptive"), trace, expected, reference
+    )
+    db = _db()
+    runs["batched"] = replay_batched(
+        db, db.session("adaptive"), trace, expected, reference, window=16
+    )
+    db = _db()
+    frontend = ServingFrontend(db, make_strategy("holistic", db, seed=5))
+    runs["serving"] = replay_serving(
+        db, frontend, trace, expected, reference, clients=2, window=16
+    )
+    db = _db()
+    runs["maintained"] = replay_maintained(db, trace, expected, reference)
+
+    for label, run in runs.items():
+        assert run.matches_reference, label
+        assert run.fingerprint == reference, label
+
+
+def test_corrupted_result_raises_oracle_error() -> None:
+    db0 = _db(rows=600)
+    trace = _trace(db0, ops=40)
+    expected, reference = reference_results(
+        db0, [ColumnRef("R", c) for c in ("A1", "A2", "F1")], trace
+    )
+    # Corrupt one expected multiset: the engine's (correct) answer now
+    # disagrees, which must surface as a divergence, not silence.
+    victim = next(i for i, e in enumerate(expected) if len(e))
+    expected[victim] = expected[victim][:-1]
+    db = _db(rows=600)
+    with pytest.raises(OracleError, match="rows"):
+        replay_sequential(
+            db, db.session("adaptive"), trace, expected, reference
+        )
+
+
+def test_short_run_is_rejected() -> None:
+    db0 = _db(rows=600)
+    trace = _trace(db0, ops=40, write_ratio=0.0)
+    expected, reference = reference_results(
+        db0, [ColumnRef("R", c) for c in ("A1", "A2", "F1")], trace
+    )
+    db = _db(rows=600)
+    with pytest.raises(OracleError, match="answered"):
+        replay_sequential(
+            db, db.session("adaptive"), trace[:-1], expected, reference
+        )

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.cracking.index import CrackerIndex
 from repro.cracking.sideways import SidewaysCrackerIndex
 from repro.errors import CrackerError, QueryError
 from repro.simtime.clock import SimClock
@@ -93,3 +94,48 @@ def test_repeated_bounds_do_not_recrack(index):
     cracks = index.map_for("A2").pieces.crack_count
     index.select_project(1e7, 2e7, "A2")
     assert index.map_for("A2").pieces.crack_count == cracks
+
+
+def test_randomized_sequences_keep_invariants(index, table, rng):
+    """Long mixed-tail select_project runs: every result exact, piece
+    maps structurally sound at checkpoints along the way."""
+    tails = ("A2", "A3")
+    for i in range(60):
+        low = float(rng.uniform(1, 9.5e7))
+        high = low + float(rng.uniform(0, 1.5e7))
+        tail = tails[int(rng.integers(0, len(tails)))]
+        view = index.select_project(low, high, tail)
+        expected = _expected_projection(table, low, high, tail)
+        assert np.array_equal(np.sort(view.values()), expected)
+        if i % 10 == 9:
+            index.check_invariants()
+    index.check_invariants()
+
+
+def test_map_cracks_match_standalone_cracker(table, rng):
+    """Each (head, tail) map refines its head copy exactly like an
+    independent single-column CrackerIndex fed the same bound
+    subsequence -- same pivots, same cut positions, head multiset
+    preserved."""
+    index = SidewaysCrackerIndex(table, "A1", clock=SimClock())
+    standalones = {
+        tail: CrackerIndex(
+            table.column("A1"), clock=SimClock(), narrow_values=False
+        )
+        for tail in ("A2", "A3")
+    }
+    for _ in range(25):
+        low = float(rng.uniform(1, 9e7))
+        high = low + float(rng.uniform(1e5, 2e7))
+        tail = "A2" if rng.random() < 0.5 else "A3"
+        index.select_project(low, high, tail)
+        standalones[tail].select_range(low, high)
+    base = np.sort(table.column("A1").values)
+    for tail, standalone in standalones.items():
+        pair = index.map_for(tail)
+        assert pair.pieces.pivots() == standalone.piece_map.pivots()
+        assert pair.pieces.cuts() == standalone.piece_map.cuts()
+        # Cut positions are order-independent: cut(v) == #values < v.
+        for pivot, cut in zip(pair.pieces.pivots(), pair.pieces.cuts()):
+            assert cut == int(np.searchsorted(base, pivot, side="left"))
+        assert np.array_equal(np.sort(pair.head), base)

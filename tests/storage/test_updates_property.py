@@ -1,0 +1,224 @@
+"""Property tests: PendingUpdates vs the exact NaivePending model.
+
+The delta store's range lookups are binary searches over dtype-coerced
+arrays; the reference model evaluates ``low <= v < high`` with exact
+Python arithmetic.  Arbitrary interleavings of staging, peeking, and
+consuming must agree between the two -- including at the adversarial
+magnitudes where ``searchsorted`` used to diverge (int64 values beyond
+2^53 probed with float bounds; see ``exact_range_cuts``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.dtypes import FLOAT64, INT32, INT64
+from repro.storage.updates import PendingUpdates, exact_range_cuts
+from util.oracle import NaivePending
+
+# Value pools per dtype, salted with the magnitudes that break a
+# float64-promoting binary search: 2^53 neighbours (where float64 loses
+# integer exactness) and ~6e17 (the original fuzz failure's scale).
+_INT64_POOL = [
+    0,
+    1,
+    -1,
+    2**53 - 1,
+    2**53,
+    2**53 + 1,
+    -(2**53) - 1,
+    629_131_755_568_097_452,
+    -629_131_755_568_097_452,
+    629_131_755_568_097_453,
+    np.iinfo(np.int64).max,
+    np.iinfo(np.int64).min,
+]
+_INT32_POOL = [0, 1, -1, 2**31 - 1, -(2**31), 123_456_789]
+_FLOAT_POOL = [
+    0.0,
+    -0.0,
+    1.5,
+    -1.5,
+    6.291317555680974e17,
+    np.nextafter(1.0, 2.0),
+    5e-324,  # smallest subnormal
+    1e308,
+]
+
+_BOUND_POOL = [
+    float(v)
+    for v in (
+        0.0,
+        -0.0,
+        0.5,
+        2.0**53,
+        float(2**53 + 2),
+        6.291317555680974e17,
+        -6.291317555680974e17,
+        1.649365601384583e17,
+        np.nextafter(6.291317555680974e17, 0.0),
+        2.0**63,
+        -(2.0**63),
+        1e308,
+    )
+]
+
+
+def _values(pool: list) -> st.SearchStrategy:
+    return st.lists(st.sampled_from(pool), min_size=0, max_size=6)
+
+
+def _ops(pool: list) -> st.SearchStrategy:
+    bound = st.sampled_from(_BOUND_POOL)
+    bounds = st.tuples(bound, bound)
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), _values(pool)),
+            st.tuples(st.just("delete"), _values(pool)),
+            st.tuples(st.just("peek_ins"), bounds),
+            st.tuples(st.just("peek_del"), bounds),
+            st.tuples(st.just("take_ins"), bounds),
+            st.tuples(st.just("take_del"), bounds),
+        ),
+        min_size=1,
+        max_size=24,
+    )
+
+
+def _replay(ctype, dtype, ops) -> None:
+    real = PendingUpdates(ctype)
+    naive = NaivePending(ctype)
+    next_position = 0
+    for kind, payload in ops:
+        if kind == "insert":
+            values = np.asarray(payload, dtype=dtype)
+            assert real.stage_inserts(values) == naive.stage_inserts(values)
+        elif kind == "delete":
+            values = np.asarray(payload, dtype=dtype)
+            # Positions drawn from a small window so restaging a
+            # previously-consumed position actually happens.
+            positions = np.arange(
+                next_position, next_position + len(values), dtype=np.int64
+            ) % 7
+            next_position += len(values)
+            assert real.stage_deletes(positions, values) == (
+                naive.stage_deletes(positions, values)
+            )
+        else:
+            low, high = payload
+            if kind == "peek_ins":
+                got = real.inserts_in_range(low, high)
+                want = naive.inserts_in_range(low, high)
+            elif kind == "peek_del":
+                got = real.deletes_in_range(low, high)
+                want = naive.deletes_in_range(low, high)
+            elif kind == "take_ins":
+                got = real.take_inserts_in_range(low, high)
+                want = naive.take_inserts_in_range(low, high)
+            else:
+                got = real.take_deletes_in_range(low, high)
+                want = naive.take_deletes_in_range(low, high)
+            assert list(got) == want, (kind, low, high)
+        assert real.pending_insert_count == naive.pending_insert_count
+        assert real.pending_delete_count == naive.pending_delete_count
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops(_INT64_POOL))
+def test_interleavings_match_naive_int64(ops) -> None:
+    _replay(INT64, np.int64, ops)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops(_INT32_POOL))
+def test_interleavings_match_naive_int32(ops) -> None:
+    _replay(INT32, np.int32, ops)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops(_FLOAT_POOL))
+def test_interleavings_match_naive_float64(ops) -> None:
+    _replay(FLOAT64, np.float64, ops)
+
+
+# -- regression anchors for the exact_range_cuts fix -------------------
+
+
+def test_int64_store_float_bounds_beyond_2_53() -> None:
+    """The original fuzz failure: searchsorted's float64 promotion
+    rounded -629131755568097452 onto the low bound and returned it
+    from an interval it is not in."""
+    pending = PendingUpdates(INT64)
+    pending.stage_deletes([5], [-629_131_755_568_097_452])
+    got = pending.deletes_in_range(
+        -6.291317555680974e17, 1.649365601384583e17
+    )
+    assert list(got) == []
+
+
+def test_exact_edges_at_2_53_neighbours() -> None:
+    pending = PendingUpdates(INT64)
+    pending.stage_inserts([2**53, 2**53 + 1, 2**53 - 1])
+    # float(2^53) == 2^53 exactly: half-open [2^53, 2^53+2) keeps the
+    # first two, and 2^53+1 must not be lost to rounding.
+    got = pending.inserts_in_range(2.0**53, float(2**53 + 2))
+    assert list(got) == [2**53, 2**53 + 1]
+
+
+def test_float_store_keeps_fractional_bounds() -> None:
+    pending = PendingUpdates(FLOAT64)
+    pending.stage_inserts([5.25, 5.75, 6.0])
+    assert list(pending.inserts_in_range(5.5, 6.0)) == [5.75]
+
+
+def test_python_int_bounds_stay_exact() -> None:
+    pending = PendingUpdates(INT64)
+    pending.stage_inserts([2**53 + 1])
+    assert list(pending.inserts_in_range(2**53 + 1, 2**53 + 2)) == [
+        2**53 + 1
+    ]
+    assert list(pending.inserts_in_range(2**53 + 2, 2**62)) == []
+
+
+def test_exact_range_cuts_extreme_bounds() -> None:
+    store = np.array([np.iinfo(np.int64).min, 0, np.iinfo(np.int64).max])
+    assert exact_range_cuts(store, float("nan")) == 3
+    assert exact_range_cuts(store, 2.0**63) == 3
+    assert exact_range_cuts(store, -(2.0**63)) == 0
+    assert exact_range_cuts(store, 1e308) == 3
+    assert exact_range_cuts(store, -1e308) == 0
+    assert list(exact_range_cuts(store, np.array([0.5, -0.5]))) == [2, 1]
+
+
+def test_take_deletes_keeps_positions_aligned() -> None:
+    pending = PendingUpdates(INT64)
+    pending.stage_deletes([10, 11, 12], [100, 200, 300])
+    taken = pending.take_deletes_in_range(150, 250)
+    assert list(taken) == [200]
+    # Position 11's pair was consumed: restaging it must succeed,
+    # while 10 and 12 are still staged and dedup away.
+    assert pending.stage_deletes([10, 11, 12], [100, 201, 300]) == 1
+    assert list(pending.deletes_in_range(0, 1000)) == [100, 201, 300]
+
+
+def test_pending_window_agrees_with_sequential_beyond_2_53() -> None:
+    from repro.engine.operators import PendingWindow
+
+    pending = PendingUpdates(INT64)
+    pending.stage_inserts(
+        [629_131_755_568_097_452, 629_131_755_568_097_453, 42]
+    )
+    pending.stage_deletes([3], [-629_131_755_568_097_452])
+    lows = np.array([-6.291317555680974e17, 0.0, 6.291317555680974e17])
+    highs = np.array([1.649365601384583e17, 1e18, 6.29131755568097472e17])
+    window = PendingWindow(pending, lows, highs)
+    for i, (low, high) in enumerate(zip(lows, highs)):
+        seq_ins = pending.inserts_in_range(low, high)
+        seq_del = pending.deletes_in_range(low, high)
+        assert window._ins_hi[i] - window._ins_lo[i] == len(seq_ins)
+        assert window._del_hi[i] - window._del_lo[i] == len(seq_del)
+        assert bool(window.overlapping_slots()[i]) == bool(
+            len(seq_ins) or len(seq_del)
+        )

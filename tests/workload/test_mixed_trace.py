@@ -1,0 +1,179 @@
+"""Tests for the seeded mixed read/write trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.storage.catalog import ColumnRef
+from repro.storage.loader import (
+    build_paper_table,
+    generate_uniform_float_column,
+)
+from repro.workload.generators import MixedTraceGenerator, TraceOp
+from repro.workload.patterns import MixedPattern
+
+A1 = ColumnRef("R", "A1")
+F1 = ColumnRef("R", "F1")
+
+
+def _columns(rows: int = 500) -> dict[ColumnRef, np.ndarray]:
+    rng = np.random.default_rng(5)
+    return {
+        A1: rng.integers(1, 1_000_000, size=rows, dtype=np.int64),
+        F1: rng.uniform(1.0, 1_000_000.0, size=rows),
+    }
+
+
+def _make(**kwargs) -> MixedTraceGenerator:
+    options = dict(
+        domain_low=1.0,
+        domain_high=1_000_000.0,
+        write_ratio=0.3,
+        batch_size=8,
+        seed=17,
+    )
+    options.update(kwargs)
+    return MixedTraceGenerator(_columns(), **options)
+
+
+def test_same_seed_reproduces_the_trace() -> None:
+    assert _make(seed=99).ops(200) == _make(seed=99).ops(200)
+
+
+def test_different_seeds_differ() -> None:
+    assert _make(seed=1).ops(200) != _make(seed=2).ops(200)
+
+
+def test_zero_write_ratio_is_query_only() -> None:
+    trace = _make(write_ratio=0.0).ops(150)
+    assert len(trace) == 150
+    assert all(op.is_query for op in trace)
+
+
+def test_write_ratio_controls_update_share() -> None:
+    trace = _make(write_ratio=0.4, seed=3).ops(2_000)
+    updates = sum(not op.is_query for op in trace)
+    assert 0.3 < updates / len(trace) < 0.5
+
+
+def test_burst_clusters_updates() -> None:
+    """With burst=5 the same update count arrives in far fewer (and
+    longer) runs than the burst=1 trace."""
+
+    def runs(trace: list[TraceOp]) -> list[int]:
+        lengths, current = [], 0
+        for op in trace:
+            if op.is_query:
+                if current:
+                    lengths.append(current)
+                current = 0
+            else:
+                current += 1
+        if current:
+            lengths.append(current)
+        return lengths
+
+    smooth = runs(_make(write_ratio=0.3, burst=1, seed=8).ops(2_000))
+    bursty = runs(_make(write_ratio=0.3, burst=5, seed=8).ops(2_000))
+    assert max(bursty) > max(smooth)
+    assert sum(bursty) / len(bursty) > 2 * (sum(smooth) / len(smooth))
+
+
+def test_drift_moves_the_hot_window() -> None:
+    still = _make(drift=0.0, write_ratio=0.0, seed=6).ops(400)
+    drifting = _make(drift=1.0, write_ratio=0.0, seed=6).ops(400)
+    assert still != drifting
+    lows = [op.low for op in drifting]
+    assert all(1.0 <= low <= 1_000_000.0 for low in lows)
+    # The hot window is narrower than the full domain and travels as
+    # the trace progresses: by the second quarter it has moved a large
+    # fraction of the domain away from where it started.  (First vs
+    # last quarter would alias -- the window wraps modulo its travel.)
+    first_quarter = np.mean(lows[:100])
+    second_quarter = np.mean(lows[100:200])
+    assert abs(second_quarter - first_quarter) > 0.1 * 1_000_000
+
+
+def test_insert_values_follow_column_dtype() -> None:
+    trace = _make(write_ratio=0.5, insert_fraction=1.0, seed=4).ops(300)
+    for op in trace:
+        if op.kind != "insert":
+            continue
+        if op.ref == A1:
+            assert all(isinstance(v, int) for v in op.values)
+        else:
+            assert all(isinstance(v, float) for v in op.values)
+
+
+def test_delete_positions_unique_per_column() -> None:
+    trace = _make(
+        write_ratio=0.5, insert_fraction=0.0, batch_size=4, seed=9
+    ).ops(400)
+    seen: dict[ColumnRef, set[int]] = {A1: set(), F1: set()}
+    for op in trace:
+        if op.kind != "delete":
+            continue
+        positions = set(op.positions)
+        assert len(positions) == len(op.positions)
+        assert not positions & seen[op.ref]
+        seen[op.ref] |= positions
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"write_ratio": 1.0},
+        {"write_ratio": -0.1},
+        {"insert_fraction": 1.5},
+        {"batch_size": 0},
+        {"burst": 0},
+        {"drift": -0.5},
+        {"domain_high": 0.5},
+    ],
+)
+def test_bad_knobs_rejected(bad) -> None:
+    with pytest.raises(WorkloadError):
+        _make(**bad)
+
+
+def test_empty_column_set_rejected() -> None:
+    with pytest.raises(WorkloadError, match="at least one column"):
+        MixedTraceGenerator({}, 1.0, 100.0)
+
+
+# -- MixedPattern ------------------------------------------------------
+
+
+def _pattern_table(rows: int = 400):
+    table = build_paper_table(rows=rows, columns=2, seed=11)
+    table.add_column(
+        generate_uniform_float_column("F1", rows=rows, seed=12)
+    )
+    return table
+
+
+def test_pattern_is_deterministic_per_seed() -> None:
+    pattern = MixedPattern(
+        columns=["A1", "F1"], op_count=300, write_ratio=0.25, seed=21
+    )
+    table = _pattern_table()
+    assert pattern.ops(table) == pattern.ops(table)
+    other = MixedPattern(
+        columns=["A1", "F1"], op_count=300, write_ratio=0.25, seed=22
+    )
+    assert pattern.ops(table) != other.ops(table)
+
+
+def test_pattern_rejects_missing_column() -> None:
+    pattern = MixedPattern(columns=["A1", "NOPE"])
+    with pytest.raises(WorkloadError, match="NOPE"):
+        pattern.ops(_pattern_table())
+
+
+def test_pattern_validates_fields() -> None:
+    with pytest.raises(WorkloadError):
+        MixedPattern(columns=[])
+    with pytest.raises(WorkloadError):
+        MixedPattern(op_count=-1)
