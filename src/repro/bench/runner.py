@@ -15,6 +15,7 @@ Usage::
     python -m repro.bench ablation-batch
     python -m repro.bench hotpath --quick
     python -m repro.bench mixed --quick
+    python -m repro.bench snapshot --quick
     python -m repro.bench all
 
 Every command prints the rows/series of the corresponding paper
@@ -71,6 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "e2e",
             "serve",
             "mixed",
+            "snapshot",
             "all",
         ],
         help="which artefact to regenerate",
@@ -197,6 +199,23 @@ def main(argv: list[str] | None = None) -> int:
         if args.baseline_json:
             parser.error("--baseline-json only applies to hotpath")
         text, exit_code = run_mixed_command(
+            rows=args.rows,
+            ops=args.queries,
+            seed=args.seed,
+            quick=args.quick,
+            out=args.out,
+            check_path=args.check,
+            repeats=args.repeats,
+        )
+        print(text)
+        return exit_code
+
+    if args.command == "snapshot":
+        from repro.bench.snapshot import run_snapshot_command
+
+        if args.baseline_json:
+            parser.error("--baseline-json only applies to hotpath")
+        text, exit_code = run_snapshot_command(
             rows=args.rows,
             ops=args.queries,
             seed=args.seed,

@@ -1,0 +1,690 @@
+"""Durability benchmark: checkpoint cost, memmap restore, kill -9.
+
+Four claims of the persist layer (:mod:`repro.persist`), measured:
+
+* **Checkpointing is cheap and non-perturbing** -- a mixed read/write
+  trace replayed with an :class:`IncrementalCheckpointer` attached
+  produces bit-identical query results to an uncheckpointed run, and
+  steady-state generations carry unchanged arrays forward instead of
+  rewriting them (``incremental`` section: full vs delta bytes).
+* **Restore is O(metadata)** -- restoring the final snapshot memmaps
+  the cracked columns back and is compared, wall clock to wall clock,
+  against the cold alternative: replaying the whole trace to rebuild
+  index state.
+* **Restart re-cracks nothing** -- after restore, the piece maps are
+  exactly as refined as at checkpoint and the crack tape does not
+  move until genuinely new bounds arrive (``zero_recrack_restart``).
+* **kill -9 loses nothing committed** -- a child process replays the
+  trace with periodic checkpoints carrying a *chained* result digest
+  (``fp_i = sha256(fp_{i-1} || slot || sorted result bytes)``) plus
+  its trace cursor; the parent SIGKILLs it mid-run, restarts it, and
+  the resumed run's final digest must equal an uninterrupted run's.
+
+Usage::
+
+    python -m repro.bench snapshot            # full sizes
+    python -m repro.bench snapshot --quick    # CI-sized run
+    python -m repro.bench snapshot --check BENCH_snapshot_quick.json
+
+Results land in ``BENCH_snapshot.json`` (``--out`` to change);
+``--check`` gates on digest equality, the zero-re-crack property and
+a >2x wall-clock regression against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.query import RangeQuery
+from repro.persist import (
+    IncrementalCheckpointer,
+    SnapshotManager,
+    current_generation,
+    restore_snapshot,
+)
+from repro.simtime.clock import SimClock
+from repro.storage.database import Database
+from repro.storage.loader import build_paper_table
+from repro.workload.patterns import MixedPattern
+
+REGRESSION_LIMIT = 2.0
+
+DEFAULT_ROWS = 120_000
+DEFAULT_OPS = 600
+QUICK_ROWS = 40_000
+QUICK_OPS = 240
+
+_COLUMNS = ("A1", "A2")
+_VALUE_LOW = 1.0
+_VALUE_HIGH = 100_000_000.0
+_WRITE_RATIO = 0.2
+_IDLE_EVERY = 25
+_IDLE_ACTIONS = 8
+_CHECKPOINT_INTERVAL = 64
+
+#: Child pacing for the kill -9 demo: a small per-op sleep keeps the
+#: child alive long enough for the parent to observe generations
+#: landing and kill it mid-trace, independent of machine speed.
+_CHILD_THROTTLE_MS = 4
+_CHILD_CHECKPOINT_EVERY = 20
+_KILL_AFTER_GENERATIONS = 3
+
+
+def _fresh_db(rows: int, seed: int) -> Database:
+    db = Database(clock=SimClock())
+    db.add_table(build_paper_table(rows=rows, columns=2, seed=seed))
+    return db
+
+
+def _trace(rows: int, ops: int, seed: int):
+    pattern = MixedPattern(
+        columns=list(_COLUMNS),
+        domain_low=_VALUE_LOW,
+        domain_high=_VALUE_HIGH,
+        op_count=ops,
+        write_ratio=_WRITE_RATIO,
+        batch_size=8,
+        seed=seed,
+    )
+    return pattern.ops(_fresh_db(rows, seed).table("R"))
+
+
+def chain_digest(digest_hex: str, slot: int, values: np.ndarray) -> str:
+    """One link of the resumable result digest.
+
+    Unlike a hashlib object, the chained form is a plain hex string, so
+    it can ride along inside a checkpoint's ``extra`` payload and be
+    picked up by a restarted process mid-trace.
+    """
+    state = hashlib.sha256()
+    state.update(bytes.fromhex(digest_hex))
+    state.update(np.int64(slot).tobytes())
+    state.update(
+        np.sort(np.asarray(values, dtype=np.float64)).tobytes()
+    )
+    return state.hexdigest()
+
+
+def _stage(db: Database, op) -> None:
+    pending = db.catalog.table(op.ref.table).updates_for(op.ref.column)
+    if op.kind == "insert":
+        pending.stage_inserts(np.asarray(op.values))
+    else:
+        pending.stage_deletes(
+            np.asarray(op.positions, dtype=np.int64),
+            np.asarray(op.values),
+        )
+
+
+def _replay(
+    db: Database,
+    session,
+    trace,
+    start: int = 0,
+    digest: str = "",
+    idle: bool = True,
+    throttle_s: float = 0.0,
+    after_op=None,
+) -> str:
+    """Replay ``trace[start:]`` sequentially; returns the final digest."""
+    for i in range(start, len(trace)):
+        op = trace[i]
+        if op.is_query:
+            result = session.run_query(
+                RangeQuery(op.ref, op.low, op.high)
+            )
+            digest = chain_digest(digest, i, result.values())
+        else:
+            _stage(db, op)
+        if idle and (i + 1) % _IDLE_EVERY == 0:
+            session.idle(actions=_IDLE_ACTIONS)
+        if throttle_s:
+            time.sleep(throttle_s)
+        if after_op is not None:
+            after_op(i, digest)
+    return digest
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """One durability measurement."""
+
+    name: str
+    wall_s: float
+    ops: int
+    fingerprint: dict[str, object]
+    matches_reference: bool
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_s <= 0:
+            return float("inf")
+        return self.ops / self.wall_s
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "ops": self.ops,
+            "unit": "trace ops",
+            "throughput": round(self.throughput, 3),
+            "fingerprint": self.fingerprint,
+            "matches_reference": self.matches_reference,
+        }
+
+
+# -- the kill -9 child --------------------------------------------------------
+
+
+def run_child(
+    root: str,
+    rows: int,
+    ops: int,
+    seed: int,
+    checkpoint_every: int,
+    throttle_ms: float,
+    out: str,
+) -> int:
+    """The crash-restart worker: resume from ``root`` if it has a
+    snapshot, else start fresh; checkpoint every ``checkpoint_every``
+    ops with the trace cursor + chained digest as ``extra``; write the
+    final digest to ``out``.
+    """
+    trace = _trace(rows, ops, seed)
+    root_path = Path(root)
+    resumed = current_generation(root_path) is not None
+    if resumed:
+        restored = restore_snapshot(root_path)
+        db, session = restored.db, restored.session
+        cursor = int(restored.extra["cursor"])
+        digest = str(restored.extra["digest"])
+    else:
+        db = _fresh_db(rows, seed)
+        session = db.session("holistic", seed=seed)
+        cursor, digest = 0, ""
+    manager = SnapshotManager(
+        root_path, db, strategy=session.strategy, session=session
+    )
+
+    def maybe_checkpoint(i: int, digest_now: str) -> None:
+        if (i + 1) % checkpoint_every == 0:
+            manager.checkpoint(
+                extra={"cursor": i + 1, "digest": digest_now}
+            )
+
+    digest = _replay(
+        db,
+        session,
+        trace,
+        start=cursor,
+        digest=digest,
+        throttle_s=throttle_ms / 1000.0,
+        after_op=maybe_checkpoint,
+    )
+    manager.checkpoint(extra={"cursor": len(trace), "digest": digest})
+    Path(out).write_text(
+        json.dumps(
+            {
+                "digest": digest,
+                "resumed": resumed,
+                "resumed_from_cursor": cursor,
+                "generation": current_generation(root_path),
+            }
+        )
+    )
+    return 0
+
+
+def _child_command(
+    root: Path, rows: int, ops: int, seed: int, out: Path
+) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.bench.snapshot",
+        "--child-root",
+        str(root),
+        "--rows",
+        str(rows),
+        "--ops",
+        str(ops),
+        "--seed",
+        str(seed),
+        "--checkpoint-every",
+        str(_CHILD_CHECKPOINT_EVERY),
+        "--throttle-ms",
+        str(_CHILD_THROTTLE_MS),
+        "--child-out",
+        str(out),
+    ]
+
+
+def _child_env() -> dict[str, str]:
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root
+        if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def run_crash_demo(
+    rows: int, ops: int, seed: int, expected_digest: str
+) -> dict[str, object]:
+    """SIGKILL a checkpointing child mid-trace, restart it, compare.
+
+    Returns the JSON-ready ``crash`` section.
+    """
+    with tempfile.TemporaryDirectory(prefix="snap-crash-") as tmp:
+        root = Path(tmp) / "snapshots"
+        out = Path(tmp) / "child.json"
+        env = _child_env()
+        started = time.perf_counter()
+        child = subprocess.Popen(
+            _child_command(root, rows, ops, seed, out),
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        killed = False
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                break  # finished before we got to kill it
+            generation = None
+            try:
+                generation = current_generation(root)
+            except Exception:
+                pass  # mid-publish; try again
+            if (
+                generation is not None
+                and generation >= _KILL_AFTER_GENERATIONS
+            ):
+                child.send_signal(signal.SIGKILL)
+                killed = True
+                break
+            time.sleep(0.01)
+        child.wait(timeout=120)
+        generation_at_kill = current_generation(root)
+
+        restart = subprocess.run(
+            _child_command(root, rows, ops, seed, out),
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            timeout=600,
+        )
+        wall = time.perf_counter() - started
+        report = json.loads(out.read_text())
+        return {
+            "killed_mid_trace": killed,
+            "generation_at_kill": generation_at_kill,
+            "restart_exit_code": restart.returncode,
+            "resumed": report["resumed"],
+            "resumed_from_cursor": report["resumed_from_cursor"],
+            "final_generation": report["generation"],
+            "digest": report["digest"],
+            "digest_matches_uninterrupted": (
+                report["digest"] == expected_digest
+            ),
+            "wall_s": round(wall, 6),
+        }
+
+
+# -- the in-process scenarios -------------------------------------------------
+
+
+def run_snapshot(
+    rows: int = DEFAULT_ROWS,
+    ops: int = DEFAULT_OPS,
+    seed: int = 42,
+    mode: str = "full",
+    repeats: int = 3,
+    crash: bool = True,
+) -> dict[str, object]:
+    """Run the durability suite; return the JSON-ready document."""
+    trace = _trace(rows, ops, seed)
+    query_ops = sum(1 for op in trace if op.is_query)
+
+    scenarios: dict[str, ScenarioResult] = {}
+
+    def record(result: ScenarioResult) -> None:
+        best = scenarios.get(result.name)
+        if best is None:
+            scenarios[result.name] = result
+        else:
+            if best.fingerprint != result.fingerprint:
+                raise AssertionError(
+                    f"{result.name}: non-deterministic fingerprint "
+                    "across repeats"
+                )
+            if result.wall_s < best.wall_s:
+                scenarios[result.name] = result
+
+    reference_digest = ""
+    incremental: dict[str, object] = {}
+    restart: dict[str, object] = {}
+    zero_recrack = True
+
+    for _ in range(max(1, repeats)):
+        # Baseline: the trace with no durability work at all.
+        db = _fresh_db(rows, seed)
+        session = db.session("holistic", seed=seed)
+        started = time.perf_counter()
+        reference_digest = _replay(db, session, trace)
+        wall = time.perf_counter() - started
+        record(
+            ScenarioResult(
+                "lifecycle/no_checkpoint",
+                wall,
+                len(trace),
+                {"digest": reference_digest},
+                True,
+            )
+        )
+
+        # The same trace with checkpointing competing for idle cycles.
+        with tempfile.TemporaryDirectory(prefix="snap-bench-") as tmp:
+            root = Path(tmp)
+            db = _fresh_db(rows, seed)
+            session = db.session("holistic", seed=seed)
+            kernel = session.strategy
+            manager = SnapshotManager(
+                root, db, strategy=kernel, session=session
+            )
+            cursor_digest: dict[str, object] = {"cursor": 0, "digest": ""}
+            checkpointer = IncrementalCheckpointer(
+                manager,
+                interval_actions=_CHECKPOINT_INTERVAL,
+                extra_provider=lambda: dict(cursor_digest),
+            )
+            kernel.attach_checkpointer(checkpointer)
+
+            def track(i: int, digest_now: str) -> None:
+                cursor_digest["cursor"] = i + 1
+                cursor_digest["digest"] = digest_now
+
+            started = time.perf_counter()
+            digest = _replay(db, session, trace, after_op=track)
+            wall = time.perf_counter() - started
+            record(
+                ScenarioResult(
+                    "lifecycle/with_checkpointer",
+                    wall,
+                    len(trace),
+                    {
+                        "digest": digest,
+                        "generations": checkpointer.generations_written,
+                    },
+                    digest == reference_digest,
+                )
+            )
+
+            # Full-vs-delta checkpoint cost.  A fresh manager has no
+            # carry-forward history, so its first checkpoint writes the
+            # whole state; the live manager's next checkpoint rewrites
+            # only what moved since the checkpointer's last generation.
+            full = SnapshotManager(
+                root / "full-cost", db, strategy=kernel, session=session
+            ).checkpoint(extra={"cursor": len(trace)})
+            delta = manager.checkpoint(extra={"cursor": len(trace)})
+            incremental = {
+                "full_arrays": full.arrays_written + full.arrays_carried,
+                "full_bytes": full.bytes_written,
+                "delta_arrays_written": delta.arrays_written,
+                "delta_arrays_carried": delta.arrays_carried,
+                "delta_bytes": delta.bytes_written,
+            }
+
+            # Warm restart: memmap restore of the final generation.
+            tape_seen = kernel.tape.count()
+            pieces = {
+                ref: index.piece_count
+                for ref, index in kernel.indexes.items()
+            }
+            started = time.perf_counter()
+            restored = restore_snapshot(root)
+            warm_wall = time.perf_counter() - started
+            restored_kernel = restored.strategy
+            zero_recrack = (
+                restored_kernel.tape.count() == tape_seen
+                and all(
+                    restored_kernel.indexes[ref].piece_count == count
+                    for ref, count in pieces.items()
+                )
+                and zero_recrack
+            )
+            for index in restored_kernel.indexes.values():
+                index.check_invariants()
+            record(
+                ScenarioResult(
+                    "restart/warm_memmap_restore",
+                    warm_wall,
+                    query_ops,
+                    {"digest": reference_digest},
+                    True,
+                )
+            )
+
+        # Cold restart: no snapshot, re-crack by replaying everything.
+        db = _fresh_db(rows, seed)
+        session = db.session("holistic", seed=seed)
+        started = time.perf_counter()
+        cold_digest = _replay(db, session, trace)
+        cold_wall = time.perf_counter() - started
+        record(
+            ScenarioResult(
+                "restart/cold_recrack",
+                cold_wall,
+                query_ops,
+                {"digest": cold_digest},
+                cold_digest == reference_digest,
+            )
+        )
+
+    warm = scenarios["restart/warm_memmap_restore"].wall_s
+    cold = scenarios["restart/cold_recrack"].wall_s
+    restart = {
+        "warm_restore_s": round(warm, 6),
+        "cold_replay_s": round(cold, 6),
+        "speedup": round(cold / warm, 3) if warm > 0 else None,
+        "zero_recrack": zero_recrack,
+    }
+
+    crash_section: dict[str, object] | None = None
+    if crash:
+        crash_section = run_crash_demo(rows, ops, seed, reference_digest)
+
+    return {
+        "schema": "snapshot-v1",
+        "config": {
+            "rows": rows,
+            "ops": ops,
+            "columns": list(_COLUMNS),
+            "seed": seed,
+            "mode": mode,
+            "write_ratio": _WRITE_RATIO,
+            "idle_every": _IDLE_EVERY,
+            "checkpoint_interval": _CHECKPOINT_INTERVAL,
+            "child_checkpoint_every": _CHILD_CHECKPOINT_EVERY,
+        },
+        "scenarios": {
+            name: result.as_dict()
+            for name, result in sorted(scenarios.items())
+        },
+        "incremental": incremental,
+        "restart": restart,
+        "crash": crash_section,
+        "oracle_matches_reference": {
+            name: result.matches_reference
+            for name, result in sorted(scenarios.items())
+        },
+    }
+
+
+def snapshot_text(result: dict[str, object]) -> str:
+    """Human-readable rendering of a snapshot run."""
+    config = result["config"]
+    lines = [
+        "Durability benchmark "
+        f"({config['rows']:,} rows x {len(config['columns'])} columns, "
+        f"{config['ops']:,} trace ops, mode={config['mode']})",
+        f"{'scenario':<34} {'wall s':>9} {'ops/s':>10} {'oracle':>7}",
+    ]
+    for name, data in result["scenarios"].items():
+        ok = "ok" if data["matches_reference"] else "DIVERGED"
+        lines.append(
+            f"{name:<34} {data['wall_s']:>9.3f} "
+            f"{data['throughput']:>10.1f} {ok:>7}"
+        )
+    inc = result["incremental"]
+    lines.append("")
+    lines.append(
+        f"incremental checkpoint: {inc['delta_bytes']:,} B delta vs "
+        f"{inc['full_bytes']:,} B full "
+        f"({inc['delta_arrays_carried']} arrays carried forward)"
+    )
+    restart = result["restart"]
+    lines.append(
+        f"restart: memmap restore {restart['warm_restore_s']*1000:.1f} ms "
+        f"vs cold replay {restart['cold_replay_s']:.3f} s "
+        f"({restart['speedup']}x); re-cracks on restore: "
+        + ("0" if restart["zero_recrack"] else "NONZERO")
+    )
+    crash = result.get("crash")
+    if crash:
+        verdict = (
+            "identical"
+            if crash["digest_matches_uninterrupted"]
+            else "DIVERGED"
+        )
+        lines.append(
+            f"kill -9 at generation {crash['generation_at_kill']}, "
+            f"resumed from op {crash['resumed_from_cursor']}: "
+            f"final digest {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def check_regression(
+    current: dict[str, object], committed: dict[str, object]
+) -> list[str]:
+    """Gate a fresh run against a committed baseline document."""
+    failures: list[str] = []
+    for name, ok in current.get("oracle_matches_reference", {}).items():
+        if not ok:
+            failures.append(
+                f"{name}: digest diverged from the uncheckpointed run"
+            )
+    if not current.get("restart", {}).get("zero_recrack", False):
+        failures.append(
+            "restart/warm_memmap_restore: restore re-cracked pieces "
+            "(piece maps or tape moved)"
+        )
+    crash = current.get("crash")
+    if crash is not None:
+        if not crash.get("digest_matches_uninterrupted", False):
+            failures.append(
+                "crash/kill9: resumed digest diverged from the "
+                "uninterrupted run"
+            )
+        if crash.get("restart_exit_code") != 0:
+            failures.append(
+                "crash/kill9: restarted child exited "
+                f"{crash.get('restart_exit_code')}"
+            )
+    committed_scenarios = committed.get("scenarios", {})
+    for name, data in current.get("scenarios", {}).items():
+        base = committed_scenarios.get(name)
+        if base is None:
+            continue
+        base_tp = float(base.get("throughput", 0.0))
+        cur_tp = float(data.get("throughput", 0.0))
+        if base_tp > 0 and cur_tp > 0 and base_tp / cur_tp > REGRESSION_LIMIT:
+            failures.append(
+                f"{name}: throughput regressed "
+                f"{base_tp / cur_tp:.2f}x ({base_tp:.1f} -> {cur_tp:.1f} "
+                f"ops/s, limit {REGRESSION_LIMIT}x)"
+            )
+    return failures
+
+
+def run_snapshot_command(
+    rows: int | None,
+    ops: int | None,
+    seed: int,
+    quick: bool,
+    out: str | None,
+    check_path: str | None,
+    repeats: int = 3,
+) -> tuple[str, int]:
+    """CLI driver for ``python -m repro.bench snapshot``.
+
+    Returns ``(text_output, exit_code)``.
+    """
+    mode = "quick" if quick else "full"
+    rows = rows if rows is not None else (QUICK_ROWS if quick else DEFAULT_ROWS)
+    ops = ops if ops is not None else (QUICK_OPS if quick else DEFAULT_OPS)
+    result = run_snapshot(
+        rows=rows, ops=ops, seed=seed, mode=mode, repeats=repeats
+    )
+    exit_code = 0
+    check_lines: list[str] = []
+    correctness = check_regression(result, {})
+    if correctness and not check_path:
+        exit_code = 1
+        check_lines = ["", "SNAPSHOT ORACLE FAILURES:", *correctness]
+    if check_path:
+        committed = json.loads(Path(check_path).read_text())
+        failures = check_regression(result, committed)
+        if failures:
+            exit_code = 1
+            check_lines = ["", "SNAPSHOT PERF-SMOKE FAILURES:", *failures]
+        else:
+            check_lines = ["", "snapshot perf-smoke gate passed"]
+    out_path = Path(out) if out else Path("BENCH_snapshot.json")
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    text = snapshot_text(result) + "\n" + f"wrote {out_path}"
+    if check_lines:
+        text += "\n" + "\n".join(check_lines)
+    return text, exit_code
+
+
+def _child_main(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro-bench-snapshot-child")
+    parser.add_argument("--child-root", required=True)
+    parser.add_argument("--rows", type=int, required=True)
+    parser.add_argument("--ops", type=int, required=True)
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--checkpoint-every", type=int, required=True)
+    parser.add_argument("--throttle-ms", type=float, default=0.0)
+    parser.add_argument("--child-out", required=True)
+    args = parser.parse_args(argv)
+    return run_child(
+        args.child_root,
+        args.rows,
+        args.ops,
+        args.seed,
+        args.checkpoint_every,
+        args.throttle_ms,
+        args.child_out,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_child_main(sys.argv[1:]))

@@ -132,6 +132,61 @@ class CrackerIndex:
         if not copy_on_first_touch and rows:
             self.clock.charge(CostCharge(elements_materialized=rows))
 
+    @classmethod
+    def from_state(
+        cls,
+        column: Column,
+        values: np.ndarray,
+        rowids: np.ndarray | None,
+        piece_map: PieceMap,
+        clock: Clock | None = None,
+        tape: CrackTape | None = None,
+        copy_charged: bool = True,
+    ) -> "CrackerIndex":
+        """Rebuild an index around restored buffers (snapshot restore).
+
+        ``values``/``rowids`` are adopted as-is -- typically ``np.memmap``
+        views in copy-on-write mode, so restoring is O(metadata) and
+        later cracks fault pages in lazily.  The narrowing decision
+        (int32 cracker column / rowids) was made when the snapshot was
+        written and rides along in the array dtypes.  ``copy_charged``
+        preserves whether the base-copy materialization charge was
+        already paid (it is part of the restored clock totals).
+
+        Raises:
+            CrackerError: when the buffers disagree with the column or
+                piece map.
+        """
+        if len(values) != column.row_count:
+            raise CrackerError(
+                f"cracker column has {len(values)} rows, base column "
+                f"{column.row_count}"
+            )
+        if piece_map.row_count != len(values):
+            raise CrackerError(
+                f"piece map covers {piece_map.row_count} rows, cracker "
+                f"column {len(values)}"
+            )
+        if rowids is not None and len(rowids) != len(values):
+            raise CrackerError(
+                f"cracker map has {len(rowids)} rows, cracker column "
+                f"{len(values)}"
+            )
+        index = cls.__new__(cls)
+        index.column = column
+        index.clock = clock if clock is not None else SimClock()
+        index.lock = threading.RLock()
+        index._array = values
+        index._rowids = rowids
+        index._pieces = piece_map
+        index._scratch = CrackScratch()
+        index._replay_cache = None
+        index._span_views = {}
+        index._span_views_arrays = (values, rowids)
+        index.tape = tape if tape is not None else CrackTape()
+        index._copy_charged = copy_charged
+        return index
+
     @staticmethod
     def _materialize_values(
         column: Column, narrow_values: bool

@@ -89,6 +89,50 @@ class PieceMap:
         self._cuts_addr = self._cuts.ctypes.data
         self._sorted_addr = self._sorted.ctypes.data
 
+    @classmethod
+    def from_state(
+        cls,
+        n: int,
+        pivots: np.ndarray,
+        cuts: np.ndarray,
+        sorted_flags: np.ndarray,
+    ) -> "PieceMap":
+        """Rebuild a piece map from exported compact arrays (snapshots).
+
+        ``pivots``/``cuts`` are the ``k`` crack boundaries and
+        ``sorted_flags`` the ``k + 1`` per-piece flags, exactly as
+        :meth:`pivots`/:meth:`cuts`/:meth:`sorted_flags` export them.
+        Buffers are reallocated with growth headroom, addresses
+        recached, and the max-piece cache recomputed; the version
+        counter restarts at 0 (it orders mutations within one process
+        lifetime only).
+
+        Raises:
+            CrackerError: when the arrays violate the map invariants.
+        """
+        pivots = np.asarray(pivots, dtype=np.float64)
+        cuts = np.asarray(cuts, dtype=np.int64)
+        sorted_flags = np.asarray(sorted_flags, dtype=bool)
+        k = len(pivots)
+        if len(cuts) != k or len(sorted_flags) != k + 1:
+            raise CrackerError(
+                f"piece-map state misaligned: {k} pivots, {len(cuts)} "
+                f"cuts, {len(sorted_flags)} sorted flags"
+            )
+        piece_map = cls(n)
+        capacity = max(_INITIAL_CAPACITY, k)
+        piece_map._k = k
+        piece_map._pivots = np.empty(capacity, dtype=np.float64)
+        piece_map._pivots[:k] = pivots
+        piece_map._cuts = np.empty(capacity, dtype=np.int64)
+        piece_map._cuts[:k] = cuts
+        piece_map._sorted = np.zeros(capacity + 1, dtype=bool)
+        piece_map._sorted[: k + 1] = sorted_flags
+        piece_map._cache_addresses()
+        piece_map._recompute_max()
+        piece_map.check_invariants()
+        return piece_map
+
     # -- inspection ----------------------------------------------------
 
     @property

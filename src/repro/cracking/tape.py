@@ -260,3 +260,67 @@ class CrackTape:
             self._counts = {o.value: 0 for o in CrackOrigin}
             self._seen = 0
             self._stalls.clear()
+
+    # -- persistence -----------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Plain-structure dump of the retained ring buffer + counters.
+
+        Records come out as parallel lists (the snapshot layer packs
+        them into typed arrays); ``worker`` is encoded as ``-1`` for
+        foreground/serial records so the columns stay numeric.
+        """
+        with self._lock:
+            raw = list(self._records)
+            return {
+                "timestamps": [r[0] for r in raw],
+                "origins": [r[1].value for r in raw],
+                "pivots": [float(r[2]) for r in raw],
+                "positions": [int(r[3]) for r in raw],
+                "piece_sizes": [int(r[4]) for r in raw],
+                "workers": [-1 if r[5] is None else int(r[5]) for r in raw],
+                "counts": dict(self._counts),
+                "seen": self._seen,
+                "stalls": {
+                    ("" if k is None else str(k)): v
+                    for k, v in self._stalls.items()
+                },
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a previously-exported tape state (snapshot restore).
+
+        Capacity and sampling knobs stay as configured on this tape;
+        the restored records refill the ring buffer oldest-first (a
+        smaller capacity keeps the newest, as a live tape would).
+        """
+        with self._lock:
+            self._records = deque(maxlen=self.capacity)
+            origins = {o.value: o for o in CrackOrigin}
+            for ts, origin, pivot, pos, size, worker in zip(
+                state["timestamps"],
+                state["origins"],
+                state["pivots"],
+                state["positions"],
+                state["piece_sizes"],
+                state["workers"],
+            ):
+                self._records.append(
+                    (
+                        float(ts),
+                        origins[origin],
+                        float(pivot),
+                        int(pos),
+                        int(size),
+                        None if int(worker) < 0 else int(worker),
+                    )
+                )
+            self._counts = {
+                o.value: int(state["counts"].get(o.value, 0))
+                for o in CrackOrigin
+            }
+            self._seen = int(state["seen"])
+            self._stalls = {
+                (None if key == "" else int(key)): int(value)
+                for key, value in state["stalls"].items()
+            }

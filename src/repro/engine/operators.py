@@ -177,6 +177,16 @@ class PendingWindow:
         self._ins_hi = exact_range_cuts(inserts, highs)
         self._del_lo = exact_range_cuts(deletes, lows)
         self._del_hi = exact_range_cuts(deletes, highs)
+        # A NaN bound maps to len(store) ("first element >= NaN"),
+        # which is correct as a low cut but would select the whole
+        # tail as a high cut; low <= v < high is false for every v
+        # when either bound is NaN, so such slots get empty slices.
+        nan_slots = np.isnan(np.asarray(lows, dtype=np.float64)) | (
+            np.isnan(np.asarray(highs, dtype=np.float64))
+        )
+        if nan_slots.any():
+            self._ins_hi = np.where(nan_slots, self._ins_lo, self._ins_hi)
+            self._del_hi = np.where(nan_slots, self._del_lo, self._del_hi)
         self._overlaps = (self._ins_hi > self._ins_lo) | (
             self._del_hi > self._del_lo
         )

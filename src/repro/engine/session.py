@@ -375,6 +375,27 @@ class Session:
         self.report.idles.append(record)
         return record
 
+    # -- persistence -------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """The session's durable accounting counters (snapshots).
+
+        Query/idle records are observability history, not engine
+        state -- a restored session starts a fresh report but keeps
+        the cumulative response curve and any outstanding blocking
+        debt, so post-restart records continue the same timeline.
+        """
+        return {
+            "cumulative_s": self._cumulative_s,
+            "pending_wait_s": self._pending_wait_s,
+            "queries_answered": len(self.report.queries),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt previously-exported session counters."""
+        self._cumulative_s = float(state["cumulative_s"])
+        self._pending_wait_s = float(state["pending_wait_s"])
+
     def __repr__(self) -> str:
         return (
             f"Session({self.strategy.name!r}, "

@@ -46,6 +46,10 @@ class SchemaError(StorageError):
     """A schema mismatch, e.g. loading data of the wrong width or dtype."""
 
 
+class PersistError(StorageError):
+    """A snapshot could not be written, validated or restored."""
+
+
 class IndexError_(ReproError):
     """Base class for indexing failures (named to avoid the builtin)."""
 

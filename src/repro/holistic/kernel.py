@@ -343,6 +343,20 @@ class HolisticKernel(IndexingStrategy):
             workload="dynamic",
         )
 
+    # -- durability -----------------------------------------------------------
+
+    def attach_checkpointer(self, checkpointer) -> None:
+        """Let idle windows spend cycles on durability.
+
+        ``checkpointer`` (see
+        :class:`repro.persist.manager.IncrementalCheckpointer`) becomes
+        a rankable auxiliary action: the serial scheduler consults it
+        before every policy choice and, when a checkpoint is due, one
+        idle action is spent writing an incremental snapshot
+        generation instead of a crack.  Pass ``None`` to detach.
+        """
+        self.scheduler.checkpointer = checkpointer
+
     # -- worker lifecycle -----------------------------------------------------
 
     def _require_pool(self):

@@ -187,3 +187,41 @@ class ColumnRanking:
     def refined_count(self) -> int:
         """How many candidates reached the cache-fit optimum."""
         return sum(1 for s in self._states.values() if self.is_refined(s))
+
+    # -- persistence -------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Per-column counters and weights (snapshot serialization).
+
+        Index objects are not serialized here -- the snapshot layer
+        restores them separately and re-registers, then folds these
+        counters back in with :meth:`restore_state`.
+        """
+        return {
+            "columns": [
+                {
+                    "table": state.ref.table,
+                    "column": state.ref.column,
+                    "queries_seen": state.queries_seen,
+                    "tuning_actions": state.tuning_actions,
+                    "workload_weight": state.workload_weight,
+                }
+                for state in self._states.values()
+            ]
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Fold exported counters into already-registered candidates.
+
+        Columns in the snapshot that are not registered yet are
+        skipped -- registration is driven by the restored index set,
+        which is the authoritative candidate list.
+        """
+        for entry in state["columns"]:
+            ref = ColumnRef(entry["table"], entry["column"])
+            tracked = self._states.get(ref)
+            if tracked is None:
+                continue
+            tracked.queries_seen = int(entry["queries_seen"])
+            tracked.tuning_actions = int(entry["tuning_actions"])
+            tracked.workload_weight = float(entry["workload_weight"])

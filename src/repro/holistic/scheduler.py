@@ -19,6 +19,10 @@ from repro.holistic.tuner import AuxiliaryTuner
 from repro.simtime.clock import Clock
 from repro.storage.catalog import ColumnRef
 
+#: Synthetic ref under which checkpoint actions are reported, so idle
+#: windows account for durability work next to per-column refinement.
+CHECKPOINT_REF = ColumnRef("__system__", "checkpoint")
+
 
 @dataclass(slots=True)
 class TuningReport:
@@ -73,6 +77,11 @@ class IdleScheduler:
         self.policy = policy
         self.tuner = tuner
         self.lifetime = TuningReport()
+        # Optional durability hook (repro.persist): when set, idle
+        # cycles may be spent writing an incremental checkpoint instead
+        # of a crack.  Serial windows only -- the parallel worker pool
+        # never checkpoints, so snapshot writes see settled state.
+        self.checkpointer = None
 
     def run_actions(self, actions: int) -> TuningReport:
         """Perform up to ``actions`` refinement actions.
@@ -163,6 +172,15 @@ class IdleScheduler:
 
     def _step(self, report: TuningReport) -> bool:
         """One policy choice + one action; False when nothing is left."""
+        checkpointer = self.checkpointer
+        if checkpointer is not None and checkpointer.due(self.ranking):
+            if checkpointer.perform(self.clock):
+                report.actions_attempted += 1
+                report.actions_effective += 1
+                report.per_column[CHECKPOINT_REF] = (
+                    report.per_column.get(CHECKPOINT_REF, 0) + 1
+                )
+                return True
         state = self.policy.choose(self.ranking)
         if state is None:
             return False

@@ -239,6 +239,14 @@ class TuningWorkerPool:
         Returns the phase's :class:`~repro.simtime.clock.ParallelAccount`
         (or ``None`` on clocks without parallel accounting); per-worker
         ``busy_s`` statistics are updated from its lanes.
+
+        Raises:
+            ConcurrencyError: if a worker thread died.  The phase has
+                already been settled by then (``end_parallel`` cannot
+                be retried), so the settled account and the updated
+                per-worker statistics ride on the error as
+                ``error.account`` / ``error.worker_stats`` instead of
+                being lost.
         """
         if not self._running:
             return None
@@ -258,15 +266,16 @@ class TuningWorkerPool:
                 worker_id = self._idents.get(ident)
                 if worker_id is not None:
                     self.stats[worker_id].busy_s += busy
-        self._check_failure()
+        self._check_failure(account)
         return account
 
-    def _check_failure(self) -> None:
+    def _check_failure(self, account=None) -> None:
         if self._failure is not None:
             failure, self._failure = self._failure, None
-            raise ConcurrencyError(
-                f"tuning worker died: {failure!r}"
-            ) from failure
+            error = ConcurrencyError(f"tuning worker died: {failure!r}")
+            error.account = account
+            error.worker_stats = self.worker_stats()
+            raise error from failure
 
     # -- windows --------------------------------------------------------
 

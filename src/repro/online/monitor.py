@@ -185,12 +185,23 @@ class WorkloadMonitor:
         )
 
     def frequency(self, ref: ColumnRef, now: float) -> float:
-        """Recent queries per second on ``ref`` (0.0 when unseen)."""
+        """Recent queries per second on ``ref`` (0.0 when unseen).
+
+        A window that has not advanced yet (``now`` equal to -- or,
+        with an out-of-order clock, before -- the first observation's
+        timestamp) has no elapsed time to divide by; the recent count
+        itself is returned as the rate, as if the degenerate window
+        were one second wide.  The old ``max(elapsed, 1e-9)`` clamp
+        turned such windows into absurd ~1e11 rates that drowned every
+        real column in a frequency comparison.
+        """
         activity = self._activity.get(ref)
         if activity is None or not activity.recent:
             return 0.0
         window_start = activity.recent[0]
-        elapsed = max(now - window_start, 1e-9)
+        elapsed = now - window_start
+        if elapsed <= 0.0:
+            return float(len(activity.recent))
         return len(activity.recent) / elapsed
 
     def relative_weight(self, ref: ColumnRef) -> float:
@@ -252,3 +263,62 @@ class WorkloadMonitor:
             if fresh:
                 counts[ref] = fresh
         return counts
+
+    # -- persistence -----------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Plain-structure dump of all monitoring state (snapshots)."""
+        columns = []
+        for ref, activity in self._activity.items():
+            columns.append(
+                {
+                    "table": ref.table,
+                    "column": ref.column,
+                    "query_count": activity.query_count,
+                    "first_seen": activity.first_seen,
+                    "last_seen": activity.last_seen,
+                    "recent": [float(t) for t in activity.recent],
+                    "coverage": [
+                        [float(lo), float(hi)]
+                        for lo, hi in activity.coverage.intervals()
+                    ],
+                    "histogram": (
+                        activity.histogram.tolist()
+                        if activity.histogram is not None
+                        else None
+                    ),
+                    "histogram_low": activity.histogram_low,
+                    "histogram_width": activity.histogram_width,
+                }
+            )
+        return {"total_queries": self.total_queries, "columns": columns}
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a previously-exported monitor state (snapshot restore)."""
+        self._activity = {}
+        self.total_queries = int(state["total_queries"])
+        for entry in state["columns"]:
+            ref = ColumnRef(entry["table"], entry["column"])
+            coverage = IntervalSet()
+            if entry["coverage"]:
+                coverage.add_many(
+                    [(lo, hi) for lo, hi in entry["coverage"]]
+                )
+            recent: deque[float] = deque(maxlen=self.recent_window)
+            recent.extend(entry["recent"])
+            histogram = (
+                np.asarray(entry["histogram"], dtype=np.int64)
+                if entry["histogram"] is not None
+                else None
+            )
+            self._activity[ref] = ColumnActivity(
+                ref=ref,
+                query_count=int(entry["query_count"]),
+                first_seen=float(entry["first_seen"]),
+                last_seen=float(entry["last_seen"]),
+                recent=recent,
+                coverage=coverage,
+                histogram=histogram,
+                histogram_low=float(entry["histogram_low"]),
+                histogram_width=float(entry["histogram_width"]),
+            )

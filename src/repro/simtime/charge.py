@@ -103,6 +103,24 @@ class CostCharge:
         fresh += self
         return fresh
 
+    def as_dict(self) -> dict[str, int]:
+        """Field-name to counter mapping (snapshot serialization)."""
+        return {
+            field.name: getattr(self, field.name) for field in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "CostCharge":
+        """Rebuild a charge from :meth:`as_dict` output.
+
+        Unknown keys are ignored so older snapshots stay loadable when
+        new counters are added.
+        """
+        known = {field.name for field in fields(cls)}
+        return cls(
+            **{k: int(v) for k, v in state.items() if k in known}
+        )
+
     def is_zero(self) -> bool:
         """True when no work at all has been recorded."""
         return all(getattr(self, field.name) == 0 for field in fields(self))

@@ -221,6 +221,40 @@ class SimClock:
             elapsed_s=elapsed, busy_s=sum(lanes.values()), lanes=lanes
         )
 
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-structure dump of the clock's durable state.
+
+        Safe to call while a parallel phase is open: ``_now`` equals the
+        phase's base then (lanes only fold in at ``end_parallel``), so
+        the captured timeline is the last settled point.  In-flight
+        lane time is deliberately *not* captured -- a checkpoint taken
+        while workers race records the state as of the window's start,
+        which is exactly what a crash would leave behind.
+        """
+        return {
+            "now": self._parallel_base if self._parallel else self._now,
+            "total_charge": self.total_charge.as_dict(),
+            "lane_seq": self._lane_seq,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a previously-exported clock state (snapshot restore).
+
+        Raises:
+            ConfigError: inside a parallel phase (settle it first).
+        """
+        if self._parallel:
+            raise ConfigError(
+                "cannot restore clock state inside a parallel phase"
+            )
+        self._now = float(state["now"])
+        self.total_charge = CostCharge.from_dict(state["total_charge"])
+        # Lane ids already handed to live threads stay valid; the
+        # sequence only ever moves forward.
+        self._lane_seq = max(self._lane_seq, int(state["lane_seq"]))
+
 
 class WallClock:
     """Real-time clock; charges are tallied but do not move time."""

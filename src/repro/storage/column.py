@@ -43,6 +43,9 @@ class Column:
         name: column name, unique within its table.
         values: 1-D array-like of the column's values.
         ctype: explicit type; inferred from ``values`` when omitted.
+        stats: known catalog statistics.  Computing them scans the
+            whole array, which defeats an O(metadata) ``np.memmap``
+            restore; the snapshot manifest supplies them instead.
     """
 
     def __init__(
@@ -50,6 +53,7 @@ class Column:
         name: str,
         values: object,
         ctype: ColumnType | None = None,
+        stats: ColumnStats | None = None,
     ) -> None:
         if not name:
             raise SchemaError("column name must be non-empty")
@@ -60,7 +64,12 @@ class Column:
         self.ctype = ctype
         self._values = coerce_array(array, ctype)
         self._values.setflags(write=False)
-        self._stats = self._compute_stats()
+        if stats is not None and stats.row_count != len(self._values):
+            raise SchemaError(
+                f"supplied stats cover {stats.row_count} rows, column "
+                f"has {len(self._values)}"
+            )
+        self._stats = stats if stats is not None else self._compute_stats()
 
     def _compute_stats(self) -> ColumnStats:
         n = len(self._values)

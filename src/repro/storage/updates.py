@@ -62,6 +62,25 @@ def exact_range_cuts(store: np.ndarray, bounds: object) -> np.ndarray:
     return cuts[0] if scalar else cuts
 
 
+def _range_cut_pair(
+    store: np.ndarray, low: float, high: float
+) -> tuple[int, int]:
+    """Slice bounds ``[lo, hi)`` of store entries with ``low <= v < high``.
+
+    :func:`exact_range_cuts` maps a NaN bound to ``len(store)`` ("first
+    element >= NaN" -- nothing is), which yields the empty range when
+    NaN arrives as the *low* bound but would select the whole tail if
+    used verbatim as the *high* cut.  ``low <= v < high`` is false for
+    every ``v`` when either bound is NaN, so the pair degenerates to
+    empty here before the cuts are composed into a slice.
+    """
+    if low != low or high != high:
+        return 0, 0
+    lo = int(exact_range_cuts(store, low))
+    hi = int(exact_range_cuts(store, high))
+    return lo, hi
+
+
 class PendingUpdates:
     """Pending inserts and deletes for a single column.
 
@@ -173,19 +192,52 @@ class PendingUpdates:
         """The staged deleted values, sorted (no copy -- do not mutate)."""
         return self._deleted_values
 
+    @property
+    def delete_positions(self) -> np.ndarray:
+        """Base positions aligned with :attr:`deleted_values` (no copy)."""
+        return self._delete_positions
+
+    def restore_state(
+        self,
+        insert_values: np.ndarray,
+        delete_positions: np.ndarray,
+        deleted_values: np.ndarray,
+    ) -> None:
+        """Adopt previously-exported store arrays (snapshot restore).
+
+        The arrays must already satisfy the store's invariants: inserts
+        sorted by value, delete positions/values aligned and sorted by
+        value.
+
+        Raises:
+            SchemaError: if the delete arrays differ in length.
+        """
+        if len(delete_positions) != len(deleted_values):
+            raise SchemaError(
+                f"delete positions ({len(delete_positions)}) and values "
+                f"({len(deleted_values)}) must align"
+            )
+        self._insert_values = np.asarray(
+            insert_values, dtype=self._ctype.numpy_dtype
+        )
+        self._delete_positions = np.asarray(
+            delete_positions, dtype=np.int64
+        )
+        self._deleted_values = np.asarray(
+            deleted_values, dtype=self._ctype.numpy_dtype
+        )
+
     def has_pending(self) -> bool:
         return self.pending_insert_count > 0 or self.pending_delete_count > 0
 
     def inserts_in_range(self, low: float, high: float) -> np.ndarray:
         """Pending inserted values v with ``low <= v < high`` (sorted)."""
-        lo = exact_range_cuts(self._insert_values, low)
-        hi = exact_range_cuts(self._insert_values, high)
+        lo, hi = _range_cut_pair(self._insert_values, low, high)
         return self._insert_values[lo:hi]
 
     def deletes_in_range(self, low: float, high: float) -> np.ndarray:
         """Pending deleted values v with ``low <= v < high`` (sorted)."""
-        lo = exact_range_cuts(self._deleted_values, low)
-        hi = exact_range_cuts(self._deleted_values, high)
+        lo, hi = _range_cut_pair(self._deleted_values, low, high)
         return self._deleted_values[lo:hi]
 
     # -- consumption ---------------------------------------------------
@@ -197,8 +249,7 @@ class PendingUpdates:
         merging a value range takes exactly the pending entries it is
         about to absorb.
         """
-        lo = exact_range_cuts(self._insert_values, low)
-        hi = exact_range_cuts(self._insert_values, high)
+        lo, hi = _range_cut_pair(self._insert_values, low, high)
         taken = self._insert_values[lo:hi].copy()
         self._insert_values = np.delete(
             self._insert_values, np.s_[lo:hi]
@@ -207,8 +258,7 @@ class PendingUpdates:
 
     def take_deletes_in_range(self, low: float, high: float) -> np.ndarray:
         """Remove and return pending deleted values in ``[low, high)``."""
-        lo = exact_range_cuts(self._deleted_values, low)
-        hi = exact_range_cuts(self._deleted_values, high)
+        lo, hi = _range_cut_pair(self._deleted_values, low, high)
         taken = self._deleted_values[lo:hi].copy()
         self._deleted_values = np.delete(
             self._deleted_values, np.s_[lo:hi]

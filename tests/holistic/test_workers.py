@@ -16,7 +16,7 @@ import pytest
 
 from repro.config import TINY
 from repro.engine.query import RangeQuery
-from repro.errors import ConfigError
+from repro.errors import ConcurrencyError, ConfigError
 from repro.holistic.kernel import HolisticConfig, HolisticKernel
 from repro.holistic.workers import TuningWorkerPool
 from repro.simtime.clock import SimClock
@@ -286,6 +286,60 @@ def test_worker_queries_race_from_two_foreground_threads():
         kernel.stop_workers()
     assert errors == []
     kernel.index_for(ColumnRef("R", "A1")).check_invariants()
+
+
+def test_stop_preserves_settled_account_when_worker_died():
+    """Regression: a worker death used to lose the ParallelAccount.
+
+    ``stop()`` settles the parallel phase with ``end_parallel()`` and
+    only then re-raises the worker failure -- the phase cannot be
+    settled twice, so the account (and the busy_s statistics derived
+    from its lanes) were unrecoverable and a retried ``stop()``
+    silently returned ``None``.  The settled account and the updated
+    worker statistics must ride on the raised ``ConcurrencyError``.
+    """
+    db = _db()
+    kernel = HolisticKernel(db, HolisticConfig(num_workers=2))
+    pool = kernel.worker_pool
+
+    def explode(worker_id, state, access):
+        raise RuntimeError("injected worker crash")
+
+    pool._perform_action = explode
+    kernel.start_workers()
+    kernel.submit_tuning(8)
+    with pytest.raises(ConcurrencyError) as excinfo:
+        pool.stop()
+    error = excinfo.value
+    assert error.account is not None
+    assert error.account.elapsed_s >= 0.0
+    assert [s.worker_id for s in error.worker_stats] == [0, 1]
+    # The phase really was closed: no dangling parallel state, and a
+    # retried stop() is an honest no-op.
+    assert not db.clock.in_parallel
+    assert pool.stop() is None
+
+
+def test_drain_failure_reports_stats_without_account():
+    db = _db()
+    kernel = HolisticKernel(db, HolisticConfig(num_workers=2))
+    pool = kernel.worker_pool
+
+    def explode(worker_id, state, access):
+        raise RuntimeError("injected worker crash")
+
+    pool._perform_action = explode
+    kernel.start_workers()
+    try:
+        kernel.submit_tuning(4)
+        with pytest.raises(ConcurrencyError) as excinfo:
+            pool.drain()
+        # drain() has not settled the phase yet: no account to attach,
+        # but the statistics snapshot is still there.
+        assert excinfo.value.account is None
+        assert len(excinfo.value.worker_stats) == 2
+    finally:
+        pool.stop()
 
 
 # -- session-level background tuning ------------------------------------

@@ -124,3 +124,57 @@ def test_note_many_empty_window_is_noop(tiny_db, a1):
     monitor = WorkloadMonitor(tiny_db.catalog)
     monitor.note_many(a1, np.array([]), np.array([]), [])
     assert monitor.total_queries == 0
+
+
+def test_frequency_zero_elapsed_window_is_finite(monitor, a1):
+    """Regression: ``now`` equal to the first observation's timestamp.
+
+    The old ``max(elapsed, 1e-9)`` clamp returned len(recent)/1e-9 --
+    an absurd ~1e9-per-observation rate that drowned every real column
+    in a frequency comparison.  The degenerate window reports its
+    recent count as the rate instead.
+    """
+    for _ in range(5):
+        monitor.record(a1, 0, 1, 2.5)
+    rate = monitor.frequency(a1, now=2.5)
+    assert rate == 5.0
+    # An out-of-order clock (now before the window start) is equally
+    # degenerate and must not go negative.
+    assert monitor.frequency(a1, now=2.0) == 5.0
+    # A real window still divides by real elapsed time.
+    assert monitor.frequency(a1, now=7.5) == pytest.approx(1.0)
+
+
+def test_hot_ranges_tolerates_single_timestamp_column(monitor, a1, tiny_db):
+    """Every observation sharing one timestamp must not break the
+    hot-range trigger (nor frequency, which feeds the same boost)."""
+    stats = tiny_db.column("R", "A1").stats
+    width = stats.value_span / 10
+    hot_low = stats.min_value + 3 * width
+    for _ in range(6):
+        monitor.record(a1, hot_low, hot_low + width / 2, 1.0)
+    hot = monitor.hot_ranges(a1, min_queries=6)
+    assert len(hot) == 1
+    low, high, count = hot[0]
+    assert count >= 6
+    assert low <= hot_low < high
+    assert monitor.frequency(a1, now=1.0) == 6.0
+
+
+def test_monitor_state_round_trip(monitor, a1, tiny_db):
+    import numpy as np
+
+    monitor.record(a1, 100, 200, 0.1)
+    monitor.record(a1, 150, 300, 0.2)
+    a2 = ColumnRef("R", "A1")
+    state = monitor.export_state()
+    clone = WorkloadMonitor(tiny_db.catalog, histogram_bins=10)
+    clone.restore_state(state)
+    assert clone.total_queries == monitor.total_queries
+    assert clone.query_count(a2) == monitor.query_count(a2)
+    original = monitor._activity[a1]
+    restored = clone._activity[a1]
+    assert list(restored.recent) == list(original.recent)
+    assert np.array_equal(restored.histogram, original.histogram)
+    assert restored.coverage.intervals() == original.coverage.intervals()
+    assert restored.histogram_width == original.histogram_width

@@ -1,0 +1,191 @@
+"""On-disk format: atomic publish, corruption detection, pruning."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import PersistError
+from repro.persist.format import (
+    FORMAT_VERSION,
+    current_generation,
+    generation_name,
+    list_generations,
+    load_array,
+    prune,
+    read_current_manifest,
+    read_manifest,
+    verify_manifest,
+    write_generation,
+)
+
+
+def _arrays():
+    return {
+        "column/R/A1": np.arange(100, dtype=np.int64),
+        "index/R/A1/pivots": np.array([10.0, 50.0]),
+    }
+
+
+class TestPublish:
+    def test_first_generation_round_trips(self, tmp_path):
+        root = tmp_path / "snap"
+        generation = write_generation(root, _arrays(), {"tag": 1})
+        assert generation == 1
+        assert current_generation(root) == 1
+        got, manifest = read_current_manifest(root)
+        assert got == 1
+        assert manifest["meta"] == {"tag": 1}
+        values = load_array(root, manifest["arrays"]["column/R/A1"])
+        assert np.array_equal(values, np.arange(100))
+
+    def test_generations_increment_and_current_follows(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        generation = write_generation(tmp_path, _arrays(), {})
+        assert generation == 2
+        assert current_generation(tmp_path) == 2
+
+    def test_missing_root_has_no_generation(self, tmp_path):
+        assert current_generation(tmp_path / "nope") is None
+        with pytest.raises(PersistError):
+            read_current_manifest(tmp_path / "nope")
+
+    def test_carry_forward_references_older_generation(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        _, manifest = read_current_manifest(tmp_path)
+        carried = {"column/R/A1": manifest["arrays"]["column/R/A1"]}
+        write_generation(
+            tmp_path,
+            {"index/R/A1/pivots": np.array([10.0, 50.0, 75.0])},
+            {},
+            carry=carried,
+        )
+        _, manifest2 = read_current_manifest(tmp_path)
+        entry = manifest2["arrays"]["column/R/A1"]
+        assert entry["generation"] == 1
+        assert entry["file"].startswith(generation_name(1))
+        assert np.array_equal(load_array(tmp_path, entry), np.arange(100))
+
+    def test_carry_of_missing_file_is_refused(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        bogus = {
+            "x": {
+                "file": "gen-000099/x.npy",
+                "dtype": "int64",
+                "shape": [1],
+                "nbytes": 8,
+                "sha256": "0" * 64,
+                "generation": 99,
+            }
+        }
+        with pytest.raises(PersistError, match="missing file"):
+            write_generation(tmp_path, {}, {}, carry=bogus)
+
+    def test_array_written_and_carried_is_refused(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        _, manifest = read_current_manifest(tmp_path)
+        carry = {"column/R/A1": manifest["arrays"]["column/R/A1"]}
+        with pytest.raises(PersistError, match="both written and carried"):
+            write_generation(
+                tmp_path, {"column/R/A1": np.arange(3)}, {}, carry=carry
+            )
+
+
+class TestCorruption:
+    def test_verify_detects_flipped_bytes(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        _, manifest = read_current_manifest(tmp_path)
+        path = tmp_path / manifest["arrays"]["column/R/A1"]["file"]
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PersistError, match="checksum mismatch"):
+            verify_manifest(tmp_path, manifest)
+
+    def test_corrupt_current_pointer(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        (tmp_path / "CURRENT").write_text("garbage\n")
+        with pytest.raises(PersistError, match="corrupt CURRENT"):
+            current_generation(tmp_path)
+
+    def test_dangling_current_pointer(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        (tmp_path / "CURRENT").write_text("gen-000042\n")
+        with pytest.raises(PersistError, match="manifest is missing"):
+            current_generation(tmp_path)
+
+    def test_unsupported_format_version(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        path = tmp_path / generation_name(1) / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(PersistError, match="not supported"):
+            read_manifest(tmp_path, 1)
+
+    def test_load_array_rejects_metadata_mismatch(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        _, manifest = read_current_manifest(tmp_path)
+        entry = dict(manifest["arrays"]["column/R/A1"])
+        entry["dtype"] = "float64"
+        with pytest.raises(PersistError, match="manifest says"):
+            load_array(tmp_path, entry)
+
+
+class TestCrashRecovery:
+    def test_leftover_tmp_dir_is_collected(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        leftover = tmp_path / ".tmp-gen-000002"
+        leftover.mkdir()
+        (leftover / "junk.npy").write_bytes(b"partial write")
+        write_generation(tmp_path, _arrays(), {})
+        assert not leftover.exists()
+        assert current_generation(tmp_path) == 2
+
+    def test_unpublished_generation_is_collected(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        # Crash window: gen dir renamed into place, CURRENT never
+        # republished.  The next writer must reclaim the number.
+        orphan = tmp_path / generation_name(2)
+        orphan.mkdir()
+        (orphan / "manifest.json").write_text("{}")
+        generation = write_generation(tmp_path, _arrays(), {"fresh": True})
+        assert generation == 2
+        assert read_manifest(tmp_path, 2)["meta"] == {"fresh": True}
+
+    def test_failed_write_leaves_previous_generation_intact(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {"good": True})
+
+        class Boom:
+            """Array-like whose serialization fails mid-write."""
+
+            def __array__(self, dtype=None, copy=None):
+                raise RuntimeError("disk on fire")
+
+        with pytest.raises(Exception):
+            write_generation(tmp_path, {"bad": Boom()}, {})
+        assert current_generation(tmp_path) == 1
+        assert read_manifest(tmp_path, 1)["meta"] == {"good": True}
+        assert not list((tmp_path).glob(".tmp-*"))
+
+
+class TestPrune:
+    def test_prune_drops_unreferenced_keeps_carried(self, tmp_path):
+        write_generation(tmp_path, _arrays(), {})
+        _, m1 = read_current_manifest(tmp_path)
+        # gen 2 rewrites everything -> gen 1 becomes garbage.
+        write_generation(tmp_path, _arrays(), {})
+        # gen 3 carries gen 2's column -> gen 2 must survive pruning.
+        _, m2 = read_current_manifest(tmp_path)
+        write_generation(
+            tmp_path,
+            {"index/R/A1/pivots": np.array([1.0])},
+            {},
+            carry={"column/R/A1": m2["arrays"]["column/R/A1"]},
+        )
+        removed = prune(tmp_path)
+        assert removed == [generation_name(1)]
+        assert list_generations(tmp_path) == [2, 3]
+        # The carried array still loads after pruning.
+        _, manifest = read_current_manifest(tmp_path)
+        verify_manifest(tmp_path, manifest)

@@ -62,6 +62,7 @@ _BOUND_POOL = [
         2.0**63,
         -(2.0**63),
         1e308,
+        float("nan"),
     )
 ]
 
@@ -81,6 +82,7 @@ def _ops(pool: list) -> st.SearchStrategy:
             st.tuples(st.just("peek_del"), bounds),
             st.tuples(st.just("take_ins"), bounds),
             st.tuples(st.just("take_del"), bounds),
+            st.tuples(st.just("clear"), st.just(None)),
         ),
         min_size=1,
         max_size=24,
@@ -106,6 +108,9 @@ def _replay(ctype, dtype, ops) -> None:
             assert real.stage_deletes(positions, values) == (
                 naive.stage_deletes(positions, values)
             )
+        elif kind == "clear":
+            real.clear()
+            naive.clear()
         else:
             low, high = payload
             if kind == "peek_ins":
@@ -201,6 +206,77 @@ def test_take_deletes_keeps_positions_aligned() -> None:
     # while 10 and 12 are still staged and dedup away.
     assert pending.stage_deletes([10, 11, 12], [100, 201, 300]) == 1
     assert list(pending.deletes_in_range(0, 1000)) == [100, 201, 300]
+
+
+# -- regression anchors for the NaN-high-bound fix ---------------------
+#
+# exact_range_cuts maps NaN to len(store) ("first element >= NaN" --
+# nothing is), which is the empty range when NaN is the *low* cut but
+# selected the whole tail when composed as a range's *high* cut: peeks
+# returned every value >= low and take_* physically consumed the store.
+# Found by the differential audit of clear/drain/restage interleavings.
+
+
+def test_nan_high_bound_takes_nothing_int32() -> None:
+    pending = PendingUpdates(INT32)
+    pending.stage_deletes(
+        [0, 1, 2, 3], [-(2**31), -(2**31), -1, 200]
+    )
+    taken = pending.take_deletes_in_range(-(2.0**63), float("nan"))
+    assert list(taken) == []
+    assert pending.pending_delete_count == 4
+    assert len(pending.delete_positions) == 4
+
+
+def test_nan_high_bound_peeks_nothing_int64() -> None:
+    pending = PendingUpdates(INT64)
+    pending.stage_inserts([2**53 + 1, 629_131_755_568_097_452])
+    assert list(pending.inserts_in_range(200.0, float("nan"))) == []
+    assert pending.pending_insert_count == 2
+
+
+def test_nan_bounds_take_nothing_float64() -> None:
+    pending = PendingUpdates(FLOAT64)
+    pending.stage_inserts([1e308])
+    assert (
+        list(pending.take_inserts_in_range(-(2.0**63), float("nan"))) == []
+    )
+    assert list(pending.take_inserts_in_range(float("nan"), 1e309)) == []
+    assert pending.pending_insert_count == 1
+
+
+def test_pending_window_nan_bounds_match_sequential() -> None:
+    from repro.engine.operators import PendingWindow
+
+    pending = PendingUpdates(INT64)
+    pending.stage_inserts([10, 20, 30])
+    pending.stage_deletes([7], [25])
+    lows = np.array([0.0, float("nan"), 15.0])
+    highs = np.array([float("nan"), 100.0, 100.0])
+    window = PendingWindow(pending, lows, highs)
+    for i, (low, high) in enumerate(zip(lows, highs)):
+        seq_ins = pending.inserts_in_range(low, high)
+        seq_del = pending.deletes_in_range(low, high)
+        assert window._ins_hi[i] - window._ins_lo[i] == len(seq_ins)
+        assert window._del_hi[i] - window._del_lo[i] == len(seq_del)
+    assert list(window.overlapping_slots()) == [False, False, True]
+
+
+def test_clear_makes_consumed_positions_restageable() -> None:
+    pending = PendingUpdates(INT64)
+    naive = NaivePending(INT64)
+    for store in (pending, naive):
+        store.stage_deletes([1, 2], [10, 20])
+        store.clear()
+    assert pending.pending_insert_count == 0
+    assert pending.pending_delete_count == 0
+    # After clear every position is restageable, exactly once.
+    assert pending.stage_deletes([1, 2, 1], [11, 21, 12]) == (
+        naive.stage_deletes([1, 2, 1], [11, 21, 12])
+    )
+    assert list(pending.deletes_in_range(0, 100)) == (
+        naive.deletes_in_range(0, 100)
+    )
 
 
 def test_pending_window_agrees_with_sequential_beyond_2_53() -> None:

@@ -107,3 +107,12 @@ class NaivePending:
             (p, v) for p, v in self._deletes if not low <= v < high
         ]
         return taken
+
+    def clear(self) -> None:
+        """Drop all pending entries (mirrors ``PendingUpdates.clear``).
+
+        Every staged position becomes restageable again: dedup is
+        against *currently staged* positions only.
+        """
+        self._inserts = []
+        self._deletes = []
