@@ -1,0 +1,823 @@
+"""Chaos benchmark: seeded fault schedules against the oracle trace.
+
+The robustness claim of the fault plane (:mod:`repro.faults`) and the
+self-healing kernel, stated as three machine-checkable gates:
+
+* **zero wrong answers** -- every scenario replays the same mixed
+  read/write trace as the fault-free run and must reproduce the
+  reference per-query result multisets bit for bit, faults or not;
+* **nothing silently swallowed** -- every injected fault must be
+  claimed by a recovery path (``FaultPlan.unrecovered()`` empty) and
+  every scenario must inject exactly the faults it armed;
+* **bounded degradation** -- a faulted run may be slower, but by no
+  more than ``DEGRADATION_LIMIT``x its family's fault-free baseline.
+
+Scenario families:
+
+* ``serving/*`` -- the multi-client serving loop (2 oracle lanes, a
+  holistic kernel) under worker crashes (supervised restart), repeated
+  crashes driving column quarantine, latch timeouts, poison replays
+  (solo retry, then base-column scan fallback) and malformed queries
+  smuggled past validation by a third "chaos" client;
+* ``persist/*`` -- checkpoint / corrupt / restore / resume cycles: a
+  torn array file (caught structurally, restore walks back a
+  generation), a flipped bit (caught by the lazy background verifier,
+  re-restore excludes the rotted generation), a garbage ``CURRENT``
+  pointer (walk-back + pointer repair) and transient restore faults
+  (capped-backoff retry).  The resumed run's chained result digest
+  must equal the uninterrupted fault-free run's.
+
+Together the scenarios cover all ``len(FAULT_POINTS)`` registered
+fault points; the run fails if any point goes unexercised.
+
+Usage::
+
+    python -m repro.bench chaos            # full sizes
+    python -m repro.bench chaos --quick    # CI-sized run
+    python -m repro.bench chaos --check BENCH_chaos_quick.json
+
+Results land in ``BENCH_chaos.json`` (``--out`` to change); ``--check``
+additionally gates on a >2x throughput regression and fingerprint
+equality against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.oracle import (
+    OracleError,
+    TraceFingerprint,
+    _stage,
+    reference_results,
+)
+from repro.bench.snapshot import _stage as _persist_stage
+from repro.bench.snapshot import chain_digest
+from repro.engine.query import RangeQuery
+from repro.engine.session import make_strategy
+from repro.errors import PersistError
+from repro.faults import FAULT_POINTS, FaultPlan, engaged
+from repro.holistic.workers import SupervisorPolicy
+from repro.persist import (
+    SnapshotManager,
+    list_generations,
+    restore_snapshot,
+)
+from repro.serving import ServingFrontend
+from repro.serving.window import WindowEntry
+from repro.simtime.clock import SimClock
+from repro.storage.catalog import ColumnRef
+from repro.storage.database import Database
+from repro.storage.loader import build_paper_table
+from repro.util.retry import BackoffPolicy
+from repro.workload.patterns import MixedPattern
+
+REGRESSION_LIMIT = 2.0
+#: A faulted scenario may run this many times slower than its family's
+#: fault-free baseline before the gate fails.
+DEGRADATION_LIMIT = 8.0
+
+DEFAULT_ROWS = 60_000
+DEFAULT_OPS = 600
+QUICK_ROWS = 20_000
+QUICK_OPS = 240
+
+#: Three columns so the quarantine scenario can dead-letter two and
+#: keep the pool alive on the third.
+_COLUMNS = ("A1", "A2", "A3")
+_VALUE_LOW = 1.0
+_VALUE_HIGH = 100_000_000.0
+_WRITE_RATIO = 0.2
+_WINDOW = 24
+_CLIENTS = 2
+#: Tuning actions submitted per served window while workers race, plus
+#: a tail batch before drain -- keeps workers busy for the whole trace
+#: so armed worker/latch fault hits are certain to occur.
+_PUMP_ACTIONS = 8
+_TAIL_ACTIONS = 64
+#: Inject one malformed entry every Nth window in the malformed
+#: scenario.
+_MALFORM_EVERY = 3
+#: Persist cycle shape: checkpoint cadence, and where phase one of the
+#: trace ends (the corrupted generation is published a bit later, so
+#: walk-back restores a strictly older cursor).
+_CKPT_DIVISOR = 8
+
+
+def _fresh_db(rows: int, seed: int) -> Database:
+    db = Database(clock=SimClock())
+    db.add_table(build_paper_table(rows=rows, columns=len(_COLUMNS), seed=seed))
+    return db
+
+
+def _trace(rows: int, ops: int, seed: int):
+    pattern = MixedPattern(
+        columns=list(_COLUMNS),
+        domain_low=_VALUE_LOW,
+        domain_high=_VALUE_HIGH,
+        op_count=ops,
+        write_ratio=_WRITE_RATIO,
+        batch_size=8,
+        seed=seed,
+    )
+    db0 = _fresh_db(rows, seed)
+    trace = pattern.ops(db0.table("R"))
+    expected, reference = reference_results(db0, pattern.refs(), trace)
+    return trace, expected, reference
+
+
+def _malformed_query(ref: ColumnRef) -> RangeQuery:
+    """An inverted-range query smuggled past ``RangeQuery`` validation
+    -- what a buggy or hostile client driver would hand the wire."""
+    query = RangeQuery.__new__(RangeQuery)
+    object.__setattr__(query, "ref", ref)
+    object.__setattr__(query, "low", 9.0)
+    object.__setattr__(query, "high", 1.0)
+    return query
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """One chaos measurement."""
+
+    name: str
+    wall_s: float
+    ops: int
+    fingerprint: dict[str, object]
+    matches_reference: bool
+    faults: dict[str, object] = field(default_factory=dict)
+    detail: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_s <= 0:
+            return float("inf")
+        return self.ops / self.wall_s
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "ops": self.ops,
+            "unit": "trace ops",
+            "throughput": round(self.throughput, 3),
+            "fingerprint": self.fingerprint,
+            "matches_reference": self.matches_reference,
+            "faults": self.faults,
+            "detail": self.detail,
+        }
+
+
+def _fault_summary(plan: FaultPlan, expected_injected: int) -> dict:
+    summary = plan.summary()
+    return {
+        "expected": expected_injected,
+        "injected": summary["injected"],
+        "recovered": summary["recovered"],
+        "unrecovered": len(plan.unrecovered()),
+        "per_point": summary["per_point"],
+        "events": summary["events"],
+    }
+
+
+# -- the serving family -------------------------------------------------------
+
+
+def _drive_serving(
+    db: Database,
+    frontend: ServingFrontend,
+    trace,
+    expected,
+    label: str,
+    clients: int = _CLIENTS,
+    window: int = _WINDOW,
+    malform_every: int = 0,
+    pump=None,
+) -> TraceFingerprint:
+    """Replay the trace through ``serve_window`` on oracle lanes,
+    asserting every real entry's result against the reference.
+
+    ``malform_every`` appends a malformed entry from a separate
+    ``chaos`` client to every Nth window (its result must come back
+    empty); ``pump`` is called once per flushed window (used to keep
+    tuning workers fed).
+    """
+    for i in range(clients):
+        name = f"oracle-{i}"
+        if name not in frontend.lanes:
+            frontend.add_client(name)
+    if malform_every:
+        frontend.add_client("chaos")
+    fingerprint = TraceFingerprint()
+    sequences = [0] * clients
+    state = {"cursor": 0, "windows": 0, "chaos_seq": 0, "malformed": 0}
+    buffer: list = []
+
+    def flush() -> None:
+        if not buffer:
+            return
+        entries = []
+        for i, op in enumerate(buffer):
+            lane = i % clients
+            entries.append(
+                WindowEntry(
+                    f"oracle-{lane}",
+                    sequences[lane],
+                    RangeQuery(op.ref, op.low, op.high),
+                )
+            )
+            sequences[lane] += 1
+        if malform_every and state["windows"] % malform_every == 0:
+            entries.append(
+                WindowEntry(
+                    "chaos",
+                    state["chaos_seq"],
+                    _malformed_query(buffer[0].ref),
+                )
+            )
+            state["chaos_seq"] += 1
+            state["malformed"] += 1
+        results = frontend.serve_window(entries)
+        for op, result in zip(buffer, results):
+            got = fingerprint.note_query(result.values())
+            want = expected[state["cursor"]]
+            state["cursor"] += 1
+            if len(got) != len(want) or not np.array_equal(
+                got.astype(np.float64), want.astype(np.float64)
+            ):
+                raise OracleError(
+                    f"{label}: query #{state['cursor']} on "
+                    f"{op.ref.table}.{op.ref.column} [{op.low}, {op.high}) "
+                    f"returned {len(got)} rows, reference has {len(want)}"
+                )
+        for result in results[len(buffer):]:
+            if result.count:
+                raise OracleError(
+                    f"{label}: malformed entry returned {result.count} "
+                    "rows; expected an empty rejection"
+                )
+        state["windows"] += 1
+        buffer.clear()
+        if pump is not None:
+            pump()
+
+    for op in trace:
+        if op.is_query:
+            buffer.append(op)
+            if len(buffer) >= window:
+                flush()
+        else:
+            flush()
+            _stage(db, op, fingerprint)
+    flush()
+    if state["cursor"] != len(expected):
+        raise OracleError(
+            f"{label}: answered {state['cursor']} of "
+            f"{len(expected)} reference queries"
+        )
+    for index in frontend.strategy.indexes.values():
+        index.check_invariants()
+    return fingerprint
+
+
+def _serving_scenario(
+    name: str,
+    rows: int,
+    ops: int,
+    seed: int,
+    case,
+    arm=None,
+    expected_injected: int = 0,
+    workers: int = 0,
+    supervisor: SupervisorPolicy | None = None,
+    policy: str | None = None,
+    malform_every: int = 0,
+) -> ScenarioResult:
+    trace, expected, reference = case
+    db = _fresh_db(rows, seed)
+    options: dict[str, object] = {"seed": seed}
+    if policy is not None:
+        options["policy"] = policy
+    if workers:
+        options["num_workers"] = workers
+        # A small cache-fit target keeps refinement candidates ranked
+        # for the whole trace; at the default (8192 elements) the
+        # foreground cracks exhaust the ranking within one window and
+        # the armed worker faults would never reach a perform.
+        options["cache_target_elements"] = 64
+    kernel = make_strategy("holistic", db, **options)
+    frontend = ServingFrontend(db, kernel)
+    pool = kernel.worker_pool
+    if supervisor is not None and pool is not None:
+        pool.supervisor = supervisor
+    plan = FaultPlan(seed=seed)
+    if arm is not None:
+        arm(plan)
+    pump = (lambda: kernel.submit_tuning(_PUMP_ACTIONS)) if workers else None
+    started = time.perf_counter()
+    with engaged(plan):
+        if workers:
+            kernel.start_workers()
+        try:
+            fingerprint = _drive_serving(
+                db,
+                frontend,
+                trace,
+                expected,
+                name,
+                malform_every=malform_every,
+                pump=pump,
+            )
+        finally:
+            if workers:
+                kernel.submit_tuning(_TAIL_ACTIONS)
+                kernel.drain_workers()
+                kernel.stop_workers()
+    wall = time.perf_counter() - started
+    run_fp = fingerprint.as_dict()
+    detail: dict[str, object] = {
+        "client_faults": [
+            {
+                "client": fault.client,
+                "kind": fault.kind,
+                "action": fault.action,
+            }
+            for fault in frontend.faults
+        ],
+    }
+    if pool is not None:
+        detail["supervisor"] = pool.supervisor_summary()
+    return ScenarioResult(
+        name=name,
+        wall_s=wall,
+        ops=len(trace),
+        fingerprint=run_fp,
+        matches_reference=(
+            run_fp["result_sha256"] == reference["result_sha256"]
+        ),
+        faults=_fault_summary(plan, expected_injected),
+        detail=detail,
+    )
+
+
+# -- the persist family -------------------------------------------------------
+
+
+def _persist_replay(db, session, trace, start, stop, digest: str) -> str:
+    for i in range(start, stop):
+        op = trace[i]
+        if op.is_query:
+            result = session.run_query(RangeQuery(op.ref, op.low, op.high))
+            digest = chain_digest(digest, i, result.values())
+        else:
+            _persist_stage(db, op)
+    return digest
+
+
+def _persist_scenario(
+    name: str,
+    rows: int,
+    ops: int,
+    seed: int,
+    trace,
+    baseline_digest: str,
+    fault_point: str | None,
+) -> ScenarioResult:
+    """One checkpoint / corrupt / restore / resume cycle.
+
+    Phase 1 replays two thirds of the trace with periodic checkpoints
+    (``keep_history=True``, so older generations stay available for
+    walk-back), then publishes one more generation that the armed
+    tamper fault corrupts.  The restore path must heal -- walk back,
+    retry, or exclude -- and the resumed replay's chained digest must
+    equal the uninterrupted fault-free run's.
+    """
+    cut = (2 * len(trace)) // 3
+    extra_ops = min(len(trace) - cut, max(len(trace) // 12, 8))
+    ckpt_every = max(ops // _CKPT_DIVISOR, 20)
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="chaos-persist-") as tmp:
+        root = Path(tmp) / "snap"
+        db = _fresh_db(rows, seed)
+        session = db.session("holistic", seed=seed)
+        manager = SnapshotManager(
+            root,
+            db,
+            strategy=session.strategy,
+            session=session,
+            keep_history=True,
+        )
+        digest = ""
+        for i in range(cut):
+            digest = _persist_replay(db, session, trace, i, i + 1, digest)
+            if (i + 1) % ckpt_every == 0:
+                manager.checkpoint(extra={"cursor": i + 1, "digest": digest})
+        # The generation walk-back falls back to: published clean, at
+        # the phase-one cursor.
+        manager.checkpoint(extra={"cursor": cut, "digest": digest})
+        # A little more progress so the next generation writes fresh
+        # (crackable) index arrays and carries a strictly later cursor.
+        late = cut + extra_ops
+        digest_late = _persist_replay(db, session, trace, cut, late, digest)
+
+        plan = FaultPlan(seed=seed)
+        expected_injected = 0
+        detail: dict[str, object] = {}
+        with engaged(plan):
+            if fault_point is not None and fault_point.startswith(
+                "persist.publish."
+            ):
+                plan.arm(fault_point, at=0)
+                expected_injected = 1
+            try:
+                manager.checkpoint(
+                    extra={"cursor": late, "digest": digest_late}
+                )
+            except PersistError:
+                # The pointer corruption breaks the manager's own
+                # post-publish read-back -- the writer dies here, like
+                # a crash after a partial publish.  The generation dir
+                # itself landed intact.
+                pass
+            corrupt_generation = max(list_generations(root))
+            if fault_point == "persist.restore":
+                plan.arm(fault_point, at=0)
+                expected_injected = 1
+            if fault_point == "persist.publish.bitflip":
+                # A flipped data bit passes the structural check; the
+                # lazy verifier catches it off the critical path and
+                # the re-restore excludes the rotted generation.
+                restored = restore_snapshot(root, verify="lazy")
+                detail["lazy_verify_passed"] = restored.verifier.wait(60.0)
+                if not detail["lazy_verify_passed"]:
+                    restored = restore_snapshot(
+                        root,
+                        verify="eager",
+                        exclude=[restored.generation],
+                    )
+            else:
+                restored = restore_snapshot(root)
+        detail["corrupt_generation"] = corrupt_generation
+        detail["restored_generation"] = restored.generation
+        detail["fallback_generations"] = restored.fallback_generations
+        detail["verification"] = restored.verification
+        cursor = int(restored.extra["cursor"])
+        detail["resumed_from_cursor"] = cursor
+        final = _persist_replay(
+            restored.db,
+            restored.session,
+            trace,
+            cursor,
+            len(trace),
+            str(restored.extra["digest"]),
+        )
+    wall = time.perf_counter() - started
+    queries = sum(1 for op in trace if op.is_query)
+    run_fp = {
+        "queries": queries,
+        "updates": len(trace) - queries,
+        "result_sha256": final,
+    }
+    return ScenarioResult(
+        name=name,
+        wall_s=wall,
+        ops=len(trace),
+        fingerprint=run_fp,
+        matches_reference=(final == baseline_digest),
+        faults=_fault_summary(plan, expected_injected),
+        detail=detail,
+    )
+
+
+# -- the sweep ---------------------------------------------------------------
+
+
+def run_chaos(
+    rows: int = DEFAULT_ROWS,
+    ops: int = DEFAULT_OPS,
+    seed: int = 42,
+    mode: str = "full",
+    repeats: int = 2,
+) -> dict[str, object]:
+    """Run every chaos scenario; return the JSON-ready document.
+
+    Serving scenarios take the best wall clock of ``repeats`` runs
+    (fingerprints must agree across repeats); persist cycles run once.
+    """
+    case = _trace(rows, ops, seed)
+    trace = case[0]
+
+    scenarios: dict[str, ScenarioResult] = {}
+
+    def record(result: ScenarioResult) -> None:
+        best = scenarios.get(result.name)
+        if best is None:
+            scenarios[result.name] = result
+        else:
+            if (
+                best.fingerprint["result_sha256"]
+                != result.fingerprint["result_sha256"]
+            ):
+                raise AssertionError(
+                    f"{result.name}: non-deterministic fingerprint "
+                    "across repeats"
+                )
+            if result.wall_s < best.wall_s:
+                scenarios[result.name] = result
+
+    quarantine_policy = SupervisorPolicy(
+        max_restarts_per_worker=16,
+        quarantine_threshold=2,
+        backoff=BackoffPolicy(
+            base_s=0.0005, factor=2.0, cap_s=0.01, max_attempts=64
+        ),
+    )
+    serving_plans = [
+        ("serving/faultfree", dict()),
+        (
+            "serving/worker_crash",
+            dict(
+                arm=lambda p: p.arm("workers.perform", at=[1, 4]),
+                expected_injected=2,
+                workers=2,
+            ),
+        ),
+        (
+            "serving/worker_quarantine",
+            # Five consecutive crash-performs under round-robin spread
+            # 2/2/1 over the three columns: two columns hit the
+            # quarantine threshold and are dead-lettered, the third
+            # keeps the pool alive (the ranked policy would re-offer a
+            # dead-lettered best column forever, which is by design
+            # fatal).  Indices start late enough that every column has
+            # been queried and registered.
+            dict(
+                arm=lambda p: p.arm(
+                    "workers.perform", at=[10, 11, 12, 13, 14]
+                ),
+                expected_injected=5,
+                workers=2,
+                supervisor=quarantine_policy,
+                policy="round_robin",
+            ),
+        ),
+        (
+            "serving/latch_timeout",
+            dict(
+                arm=lambda p: p.arm("latch.acquire", at=[0, 2]),
+                expected_injected=2,
+                workers=2,
+            ),
+        ),
+        (
+            "serving/poison_retry",
+            dict(
+                arm=lambda p: p.arm("serving.replay", at=5),
+                expected_injected=1,
+            ),
+        ),
+        (
+            "serving/poison_fallback",
+            dict(
+                arm=lambda p: p.arm("serving.replay", at=[11, 12]),
+                expected_injected=2,
+            ),
+        ),
+        (
+            "serving/malformed_query",
+            dict(malform_every=_MALFORM_EVERY),
+        ),
+    ]
+    for _ in range(max(1, repeats)):
+        for name, kwargs in serving_plans:
+            record(_serving_scenario(name, rows, ops, seed, case, **kwargs))
+
+    baseline_db = _fresh_db(rows, seed)
+    baseline_session = baseline_db.session("holistic", seed=seed)
+    baseline_digest = _persist_replay(
+        baseline_db, baseline_session, trace, 0, len(trace), ""
+    )
+    persist_plans = [
+        ("persist/faultfree", None),
+        ("persist/torn_snapshot", "persist.publish.torn"),
+        ("persist/bitflip_snapshot", "persist.publish.bitflip"),
+        ("persist/torn_pointer", "persist.publish.pointer"),
+        ("persist/restore_fault", "persist.restore"),
+    ]
+    for name, point in persist_plans:
+        record(
+            _persist_scenario(
+                name, rows, ops, seed, trace, baseline_digest, point
+            )
+        )
+
+    matches = {
+        name: result.matches_reference
+        for name, result in sorted(scenarios.items())
+    }
+    injected_points: set[str] = set()
+    recovery = {}
+    for name, result in sorted(scenarios.items()):
+        injected_points.update(result.faults.get("per_point", {}))
+        recovery[name] = {
+            "expected": result.faults.get("expected", 0),
+            "injected": result.faults.get("injected", 0),
+            "unrecovered": result.faults.get("unrecovered", 0),
+        }
+    degradation = {}
+    for family in ("serving", "persist"):
+        base = scenarios.get(f"{family}/faultfree")
+        if base is None:
+            continue
+        for name, result in sorted(scenarios.items()):
+            if not name.startswith(f"{family}/") or result is base:
+                continue
+            degradation[name] = round(
+                base.throughput / result.throughput, 3
+            ) if result.throughput else float("inf")
+    return {
+        "schema": "chaos-v1",
+        "config": {
+            "rows": rows,
+            "ops": ops,
+            "columns": list(_COLUMNS),
+            "seed": seed,
+            "mode": mode,
+            "window": _WINDOW,
+            "clients": _CLIENTS,
+            "write_ratio": _WRITE_RATIO,
+            "degradation_limit": DEGRADATION_LIMIT,
+        },
+        "scenarios": {
+            name: result.as_dict()
+            for name, result in sorted(scenarios.items())
+        },
+        "oracle_matches_reference": matches,
+        "fault_recovery": recovery,
+        "fault_coverage": {
+            "registered": sorted(FAULT_POINTS),
+            "injected": sorted(injected_points),
+            "missing": sorted(set(FAULT_POINTS) - injected_points),
+        },
+        "degradation_vs_faultfree": degradation,
+    }
+
+
+def _gate(result: dict[str, object]) -> list[str]:
+    """The in-run correctness gates -- applied even without --check."""
+    failures: list[str] = []
+    for name, ok in result.get("oracle_matches_reference", {}).items():
+        if not ok:
+            failures.append(
+                f"{name}: results diverged from the fault-free reference"
+            )
+    for name, counts in result.get("fault_recovery", {}).items():
+        if counts["injected"] != counts["expected"]:
+            failures.append(
+                f"{name}: injected {counts['injected']} faults, "
+                f"armed {counts['expected']}"
+            )
+        if counts["unrecovered"]:
+            failures.append(
+                f"{name}: {counts['unrecovered']} injected fault(s) "
+                "were never claimed by a recovery path"
+            )
+    missing = result.get("fault_coverage", {}).get("missing", [])
+    if missing:
+        failures.append(
+            "registered fault points never exercised: " + ", ".join(missing)
+        )
+    limit = float(
+        result.get("config", {}).get("degradation_limit", DEGRADATION_LIMIT)
+    )
+    for name, ratio in result.get("degradation_vs_faultfree", {}).items():
+        if float(ratio) > limit:
+            failures.append(
+                f"{name}: {ratio}x slower than its fault-free baseline "
+                f"(limit {limit}x)"
+            )
+    return failures
+
+
+_SEMANTIC_KEYS = ("queries", "updates", "result_rows", "result_sha256")
+
+
+def check_regression(
+    current: dict[str, object], committed: dict[str, object]
+) -> list[str]:
+    """Gate a fresh run against a committed baseline document."""
+    failures = _gate(current)
+    committed_scenarios = committed.get("scenarios", {})
+    same_config = committed.get("config", {}) == current.get("config", {})
+    for name, data in current.get("scenarios", {}).items():
+        base = committed_scenarios.get(name)
+        if base is None:
+            continue
+        base_tp = float(base.get("throughput", 0.0))
+        cur_tp = float(data.get("throughput", 0.0))
+        if base_tp > 0 and cur_tp > 0 and base_tp / cur_tp > REGRESSION_LIMIT:
+            failures.append(
+                f"{name}: throughput regressed "
+                f"{base_tp / cur_tp:.2f}x ({base_tp:.1f} -> {cur_tp:.1f} "
+                f"ops/s, limit {REGRESSION_LIMIT}x)"
+            )
+        if not same_config:
+            continue
+        base_fp = base.get("fingerprint", {})
+        fingerprint = data.get("fingerprint", {})
+        for fp_key in _SEMANTIC_KEYS:
+            if fp_key in base_fp and base_fp.get(fp_key) != fingerprint.get(
+                fp_key
+            ):
+                failures.append(
+                    f"{name}.{fp_key}: fingerprint diverged from "
+                    f"committed baseline (expected {base_fp[fp_key]!r}, "
+                    f"got {fingerprint.get(fp_key)!r})"
+                )
+    return failures
+
+
+def chaos_text(result: dict[str, object]) -> str:
+    """Human-readable rendering of a chaos run."""
+    config = result["config"]
+    lines = [
+        "Chaos benchmark "
+        f"({config['rows']:,} rows x {len(config['columns'])} columns, "
+        f"{config['ops']:,} trace ops, mode={config['mode']})",
+        f"{'scenario':<28} {'wall s':>8} {'ops/s':>9} "
+        f"{'inj':>4} {'rec':>4} {'oracle':>7}",
+    ]
+    for name, data in result["scenarios"].items():
+        faults = data.get("faults", {})
+        ok = "ok" if data["matches_reference"] else "DIVERGED"
+        lines.append(
+            f"{name:<28} {data['wall_s']:>8.3f} "
+            f"{data['throughput']:>9.1f} "
+            f"{faults.get('injected', 0):>4} "
+            f"{faults.get('recovered', 0):>4} {ok:>7}"
+        )
+    coverage = result.get("fault_coverage", {})
+    lines.append(
+        f"fault points exercised: {len(coverage.get('injected', []))}"
+        f"/{len(coverage.get('registered', []))}"
+        + (
+            f" (MISSING: {', '.join(coverage['missing'])})"
+            if coverage.get("missing")
+            else ""
+        )
+    )
+    degradation = result.get("degradation_vs_faultfree", {})
+    if degradation:
+        worst = max(degradation.items(), key=lambda kv: float(kv[1]))
+        lines.append(
+            f"worst degradation vs fault-free: {worst[1]}x ({worst[0]}), "
+            f"limit {result['config']['degradation_limit']}x"
+        )
+    return "\n".join(lines)
+
+
+def run_chaos_command(
+    rows: int | None,
+    ops: int | None,
+    seed: int,
+    quick: bool,
+    out: str | None,
+    check_path: str | None,
+    repeats: int = 2,
+) -> tuple[str, int]:
+    """CLI driver for ``python -m repro.bench chaos``.
+
+    Returns ``(text_output, exit_code)``.
+    """
+    mode = "quick" if quick else "full"
+    rows = rows if rows is not None else (QUICK_ROWS if quick else DEFAULT_ROWS)
+    ops = ops if ops is not None else (QUICK_OPS if quick else DEFAULT_OPS)
+    result = run_chaos(
+        rows=rows, ops=ops, seed=seed, mode=mode, repeats=repeats
+    )
+    exit_code = 0
+    check_lines: list[str] = []
+    if check_path:
+        committed = json.loads(Path(check_path).read_text())
+        failures = check_regression(result, committed)
+        if failures:
+            exit_code = 1
+            check_lines = ["", "CHAOS GATE FAILURES:", *failures]
+        else:
+            check_lines = ["", "chaos gate passed"]
+    else:
+        failures = _gate(result)
+        if failures:
+            exit_code = 1
+            check_lines = ["", "CHAOS GATE FAILURES:", *failures]
+    out_path = Path(out) if out else Path("BENCH_chaos.json")
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    text = chaos_text(result) + "\n" + f"wrote {out_path}"
+    if check_lines:
+        text += "\n" + "\n".join(check_lines)
+    return text, exit_code

@@ -16,6 +16,7 @@ Usage::
     python -m repro.bench hotpath --quick
     python -m repro.bench mixed --quick
     python -m repro.bench snapshot --quick
+    python -m repro.bench chaos --quick
     python -m repro.bench all
 
 Every command prints the rows/series of the corresponding paper
@@ -73,6 +74,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "serve",
             "mixed",
             "snapshot",
+            "chaos",
             "all",
         ],
         help="which artefact to regenerate",
@@ -216,6 +218,23 @@ def main(argv: list[str] | None = None) -> int:
         if args.baseline_json:
             parser.error("--baseline-json only applies to hotpath")
         text, exit_code = run_snapshot_command(
+            rows=args.rows,
+            ops=args.queries,
+            seed=args.seed,
+            quick=args.quick,
+            out=args.out,
+            check_path=args.check,
+            repeats=args.repeats,
+        )
+        print(text)
+        return exit_code
+
+    if args.command == "chaos":
+        from repro.bench.chaos import run_chaos_command
+
+        if args.baseline_json:
+            parser.error("--baseline-json only applies to hotpath")
+        text, exit_code = run_chaos_command(
             rows=args.rows,
             ops=args.queries,
             seed=args.seed,

@@ -39,14 +39,16 @@ latch-level concurrency into the paper's multi-core time accounting.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator
 
+from repro import faults
 from repro.cracking.index import CrackerIndex
 from repro.cracking.piece import CrackOrigin
-from repro.errors import ConcurrencyError, ConfigError
+from repro.errors import ConcurrencyError, ConfigError, LatchTimeout
 from repro.storage.views import RangeView, SelectionResult
 
 
@@ -232,11 +234,14 @@ class ReadWriteLatch:
         self._readers = 0
         self._writer = False
 
-    def acquire_read(self) -> bool:
+    def acquire_read(self, timeout_s: float | None = None) -> bool:
         with self._cond:
             stalled = self._writer
+            deadline = (
+                None if timeout_s is None else time.monotonic() + timeout_s
+            )
             while self._writer:
-                self._cond.wait()
+                self._wait(deadline, "read")
             self._readers += 1
             return stalled
 
@@ -246,13 +251,32 @@ class ReadWriteLatch:
             if self._readers == 0:
                 self._cond.notify_all()
 
-    def acquire_write(self) -> bool:
+    def acquire_write(self, timeout_s: float | None = None) -> bool:
         with self._cond:
             stalled = self._writer or self._readers > 0
+            deadline = (
+                None if timeout_s is None else time.monotonic() + timeout_s
+            )
             while self._writer or self._readers > 0:
-                self._cond.wait()
+                self._wait(deadline, "write")
             self._writer = True
             return stalled
+
+    def _wait(self, deadline: float | None, mode: str) -> None:
+        """One condition wait bounded by ``deadline``.
+
+        Raises:
+            LatchTimeout: past the deadline; transient by contract, the
+                caller re-tries the acquisition.
+        """
+        if deadline is None:
+            self._cond.wait()
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not self._cond.wait(remaining):
+            raise LatchTimeout(
+                f"{mode} latch not granted within its timeout"
+            )
 
     def release_write(self) -> None:
         with self._cond:
@@ -272,12 +296,24 @@ class PieceLatchTable:
     piece-level traffic without enumerating keys.
     """
 
-    def __init__(self, granularity: int = 1) -> None:
+    def __init__(
+        self, granularity: int = 1, acquire_timeout_s: float | None = None
+    ) -> None:
         if granularity < 1:
             raise ConfigError(
                 f"latch granularity must be >= 1, got {granularity}"
             )
+        if acquire_timeout_s is not None and acquire_timeout_s <= 0:
+            raise ConfigError(
+                f"acquire_timeout_s must be > 0, got {acquire_timeout_s}"
+            )
         self.granularity = granularity
+        #: Optional bound on piece-latch write waits; ``None`` waits
+        #: forever.  A timeout raises LatchTimeout, which the access
+        #: facade treats as transient (release nothing was held,
+        #: re-acquire) -- the same path the fault plane's injected
+        #: ``latch.acquire`` timeouts exercise.
+        self.acquire_timeout_s = acquire_timeout_s
         self._latches: dict[int, ReadWriteLatch] = {}
         self._mutex = threading.Lock()
         self._table = ReadWriteLatch()
@@ -309,14 +345,21 @@ class PieceLatchTable:
         Keys are acquired in sorted order so concurrent multi-piece
         acquirers (a select latching both of its bound pieces) cannot
         deadlock.
+
+        Raises:
+            LatchTimeout: when a configured (or injected) acquisition
+                timeout elapses; no latch is left held.
         """
+        faults.trip("latch.acquire", error=LatchTimeout)
         ordered = sorted(set(keys))
         stalled = self._table.acquire_read()
         held: list[ReadWriteLatch] = []
         try:
             for key in ordered:
                 latch = self._latch(key)
-                stalled = latch.acquire_write() or stalled
+                stalled = (
+                    latch.acquire_write(self.acquire_timeout_s) or stalled
+                )
                 held.append(latch)
             yield self._note(stalled)
         finally:
@@ -393,15 +436,25 @@ class LatchedCrackerAccess:
         high: float,
         origin: CrackOrigin = CrackOrigin.QUERY,
     ) -> RangeView:
-        """A cracking range select under piece latches."""
+        """A cracking range select under piece latches.
+
+        A :class:`~repro.errors.LatchTimeout` (real or injected) is
+        transient: the attempt is counted as a contention stall and the
+        acquisition retried -- queries never fail on latch pressure.
+        """
         for _ in range(self.MAX_RETRIES):
             keys = self._keys_for(low, high)
-            with self.table.write_pieces(keys) as stalled:
-                if stalled:
-                    self._note_stall()
-                if self._keys_for(low, high) != keys:
-                    continue  # pieces moved while we waited; re-latch
-                return self.index.select_range(low, high, origin)
+            try:
+                with self.table.write_pieces(keys) as stalled:
+                    if stalled:
+                        self._note_stall()
+                    if self._keys_for(low, high) != keys:
+                        continue  # pieces moved while we waited; re-latch
+                    return self.index.select_range(low, high, origin)
+            except LatchTimeout:
+                self._note_stall()
+                faults.recovered("latch.acquire", "select re-acquired")
+                continue
         raise ConcurrencyError(
             f"select [{low}, {high}) could not stabilise its piece "
             f"latches after {self.MAX_RETRIES} retries"
@@ -426,19 +479,24 @@ class LatchedCrackerAccess:
                     return False
                 piece = pieces.piece_for_value(value)
                 key = self.table.key_for(piece.start)
-            with self.table.write_pieces([key]) as stalled:
-                if stalled:
-                    self._note_stall()
-                with self.index.lock:
-                    if pieces.has_pivot(value):
-                        return False
-                    piece = pieces.piece_for_value(value)
-                    if self.table.key_for(piece.start) != key:
-                        continue  # re-latch on the fresh key
-                    if piece.size <= min_piece_size:
-                        return False
-                    self.index.ensure_cut(value, origin)
-                    return True
+            try:
+                with self.table.write_pieces([key]) as stalled:
+                    if stalled:
+                        self._note_stall()
+                    with self.index.lock:
+                        if pieces.has_pivot(value):
+                            return False
+                        piece = pieces.piece_for_value(value)
+                        if self.table.key_for(piece.start) != key:
+                            continue  # re-latch on the fresh key
+                        if piece.size <= min_piece_size:
+                            return False
+                        self.index.ensure_cut(value, origin)
+                        return True
+            except LatchTimeout:
+                self._note_stall()
+                faults.recovered("latch.acquire", "crack re-acquired")
+                continue
         raise ConcurrencyError(
             f"crack at {value} could not stabilise its piece latch "
             f"after {self.MAX_RETRIES} retries"

@@ -848,6 +848,34 @@ class CrackerIndex:
     # -- validation ------------------------------------------------------
 
     @_synchronized
+    @_synchronized
+    def rebuild(self) -> None:
+        """Reset to a fresh, trivially-valid single-piece state.
+
+        The recovery path of last resort: when a crashed tuning action
+        leaves the physical partitioning inconsistent with the piece
+        map (:meth:`check_invariants` fails), the supervisor re-copies
+        the base column and starts over from one unsorted piece.  All
+        refinement on this column is lost -- cracking will re-converge
+        from queries -- but every answer is correct immediately.  The
+        copy is charged to the clock like any first-touch
+        materialization.
+        """
+        self._array = self._materialize_values(self.column, True)
+        rows = self.column.row_count
+        if self._rowids is not None:
+            self._rowids = np.arange(
+                rows,
+                dtype=np.int32 if rows <= _INT32_MAX else np.int64,
+            )
+        self._pieces = PieceMap(rows)
+        self._scratch = CrackScratch()
+        self._replay_cache = None
+        self._span_views = {}
+        self._span_views_arrays = (self._array, self._rowids)
+        if rows:
+            self.clock.charge(CostCharge(elements_materialized=rows))
+
     def check_invariants(self) -> None:
         """Verify the physical partitioning matches the piece map.
 

@@ -66,6 +66,28 @@ class ConcurrencyError(IndexingError):
     """A latch/lock protocol violation in the concurrency simulator."""
 
 
+class LatchTimeout(ConcurrencyError):
+    """A latch acquisition gave up waiting (real or injected timeout).
+
+    Transient by contract: the holder will release, so callers retry
+    the acquisition instead of failing the operation.
+    """
+
+
+class InjectedFault(ReproError):
+    """A failure deliberately raised by the fault-injection plane.
+
+    Carries the registered fault-point name and the invocation index it
+    fired at, so recovery paths can report exactly which scheduled
+    fault they absorbed.
+    """
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(f"injected fault at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
 class PlanError(ReproError):
     """Query planning failed (unknown operator, bad predicate, ...)."""
 

@@ -1,0 +1,43 @@
+"""Deterministic fault injection for the self-healing kernel.
+
+See :mod:`repro.faults.plan` for the model: a seeded
+:class:`FaultPlan` armed against registered fault points, consumed by
+the kernel through :func:`trip` (error faults) and :func:`tamper`
+(corruption faults), with per-event recovery bookkeeping that the
+chaos bench gates on.
+"""
+
+from repro.faults.corrupt import flip_bit, tear_file
+from repro.faults.plan import (
+    FAULT_POINTS,
+    TAMPER_POINTS,
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    active,
+    engaged,
+    install,
+    recovered,
+    recovered_matching,
+    tamper,
+    trip,
+    uninstall,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "TAMPER_POINTS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRule",
+    "active",
+    "engaged",
+    "flip_bit",
+    "install",
+    "recovered",
+    "recovered_matching",
+    "tamper",
+    "tear_file",
+    "trip",
+    "uninstall",
+]

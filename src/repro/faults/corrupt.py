@@ -1,0 +1,56 @@
+"""File corruption primitives for the persist fault points.
+
+Torn writes and bit rot cannot be modelled as raised exceptions -- the
+write *succeeds* and the damage is discovered later.  These helpers
+apply the damage that :func:`repro.faults.tamper` schedules; they are
+deterministic (fixed truncation point, fixed flipped bit) so chaos
+runs reproduce byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+
+def tear_file(path: Path) -> int:
+    """Truncate ``path`` to half its size (a torn write); returns the
+    new size."""
+    path = Path(path)
+    size = path.stat().st_size
+    if size < 2:
+        raise ConfigError(f"cannot tear {path}: only {size} bytes")
+    kept = size // 2
+    with open(path, "r+b") as handle:
+        handle.truncate(kept)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return kept
+
+
+def flip_bit(path: Path, offset: int | None = None, bit: int = 6) -> int:
+    """XOR one bit of ``path`` in place; returns the byte offset.
+
+    Defaults to the middle byte -- past any format header, so the
+    damage lands in payload data and only a checksum can catch it.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if size < 1:
+        raise ConfigError(f"cannot flip a bit of empty file {path}")
+    if offset is None:
+        offset = size // 2
+    if not 0 <= offset < size:
+        raise ConfigError(
+            f"offset {offset} outside file of {size} bytes"
+        )
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ (1 << bit)]))
+        handle.flush()
+        os.fsync(handle.fileno())
+    return offset

@@ -36,21 +36,44 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.cracking.concurrency import LatchedCrackerAccess, PieceLatchTable
 from repro.cracking.index import CrackerIndex
 from repro.cracking.tape import CrackTape
-from repro.errors import ConcurrencyError, ConfigError
+from repro.errors import ConcurrencyError, ConfigError, CrackerError
 from repro.holistic.policies import TuningPolicy
 from repro.holistic.ranking import ColumnRanking, ColumnTuningState
 from repro.holistic.scheduler import TuningReport
 from repro.holistic.tuner import ActionKind, AuxiliaryTuner
 from repro.simtime.clock import Clock
 from repro.storage.catalog import ColumnRef
+from repro.util.retry import BackoffPolicy
 
 #: Queue sentinel that tells a worker thread to exit its loop.
 _STOP = object()
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisorPolicy:
+    """How the pool reacts to worker crashes.
+
+    Args:
+        max_restarts_per_worker: restarts a single worker slot may
+            consume before its next crash is fatal to the pool.
+        quarantine_threshold: crashes attributed to one column before
+            its refinement actions are dead-lettered.
+        backoff: restart delay schedule (capped exponential, indexed
+            by the worker slot's restart count).
+    """
+
+    max_restarts_per_worker: int = 8
+    quarantine_threshold: int = 3
+    backoff: BackoffPolicy = BackoffPolicy(
+        base_s=0.001, factor=2.0, cap_s=0.05, max_attempts=64
+    )
 
 
 @dataclass(slots=True)
@@ -147,7 +170,7 @@ class TuningWorkerPool:
             queue.Queue() for _ in range(num_workers)
         ]
         self._next_queue = 0
-        self._threads: list[threading.Thread] = []
+        self._threads: dict[int, threading.Thread] = {}
         self._idents: dict[int, int] = {}  # clock lane id -> worker id
         self._policy_lock = threading.Lock()
         self._window_lock = threading.Lock()
@@ -155,6 +178,20 @@ class TuningWorkerPool:
         self._running = False
         self._failure: BaseException | None = None
         self.windows_run = 0
+        #: Supervision: crashed workers are restarted with capped
+        #: exponential backoff; columns whose actions repeatedly kill
+        #: workers are quarantined (dead-lettered) after their piece
+        #: state is verified and, if inconsistent, rebuilt.
+        self.supervisor = SupervisorPolicy()
+        self._sleep = time.sleep  # injectable for deterministic tests
+        self._state_lock = threading.Lock()
+        self._restarts: dict[int, int] = {}
+        self._crashes: dict[ColumnRef, int] = {}
+        self._current: dict[int, ColumnTuningState | None] = {}
+        self.dead_letter: list[ColumnRef] = []
+        self.restarts_total = 0
+        self.rebuilds_total = 0
+        self.crash_log: list[str] = []
 
     # -- index registration --------------------------------------------
 
@@ -194,19 +231,23 @@ class TuningWorkerPool:
         self._failure = None
         if hasattr(self.clock, "begin_parallel"):
             self.clock.begin_parallel()
-        self._threads = []
+        self._threads = {}
         self._idents = {}
-        for worker_id in range(self.num_workers):
-            thread = threading.Thread(
-                target=self._worker_loop,
-                args=(worker_id,),
-                name=f"tuning-worker-{worker_id}",
-                daemon=True,
-            )
-            self._threads.append(thread)
+        self._restarts = {}
         self._running = True
-        for thread in self._threads:
-            thread.start()
+        for worker_id in range(self.num_workers):
+            self._spawn_worker(worker_id)
+
+    def _spawn_worker(self, worker_id: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._worker_loop,
+            args=(worker_id,),
+            name=f"tuning-worker-{worker_id}",
+            daemon=True,
+        )
+        self._threads[worker_id] = thread
+        thread.start()
+        return thread
 
     def submit(self, actions: int) -> None:
         """Enqueue ``actions`` refinement attempts for the workers.
@@ -226,12 +267,42 @@ class TuningWorkerPool:
         """Block until every submitted action has been processed.
 
         Raises:
-            ConcurrencyError: re-raising the first worker failure, if
-                any worker thread died.
+            ConcurrencyError: re-raising the first *fatal* worker
+                failure.  Supervised crashes (restarted workers,
+                quarantined columns) drain cleanly; the failure stays
+                sticky once raised, so a later ``drain()`` cannot
+                silently report success (clear it explicitly with
+                :meth:`clear_failure`).
         """
-        for line in self._queues:
-            line.join()
+        for worker_id, line in enumerate(self._queues):
+            self._join_line(worker_id, line)
         self._check_failure()
+
+    def _join_line(self, worker_id: int, line: queue.Queue) -> None:
+        """``line.join()`` that survives an abandoned worker.
+
+        A worker whose crash was fatal (restart budget exhausted,
+        every candidate quarantined) is not replaced; its queued
+        tokens would leave ``join()`` waiting forever.  Once the pool
+        is failed and the worker thread is dead, the leftover tokens
+        are consumed here so drains and stops still terminate -- the
+        sticky failure is what reports the loss.
+        """
+        while True:
+            with line.all_tasks_done:
+                if line.unfinished_tasks == 0:
+                    return
+                thread = self._threads.get(worker_id)
+                dead = thread is None or not thread.is_alive()
+                if not (self._failure is not None and dead):
+                    line.all_tasks_done.wait(0.02)
+                    continue
+            while True:
+                try:
+                    line.get_nowait()
+                except queue.Empty:
+                    break
+                line.task_done()
 
     def stop(self):
         """Drain, join the threads and close the parallel clock phase.
@@ -250,14 +321,14 @@ class TuningWorkerPool:
         """
         if not self._running:
             return None
-        for line in self._queues:
-            line.join()
+        for worker_id, line in enumerate(self._queues):
+            self._join_line(worker_id, line)
         for line in self._queues:
             line.put(_STOP)
-        for thread in self._threads:
+        for thread in list(self._threads.values()):
             thread.join()
-        for line in self._queues:
-            line.join()
+        for worker_id, line in enumerate(self._queues):
+            self._join_line(worker_id, line)
         self._running = False
         account = None
         if hasattr(self.clock, "end_parallel"):
@@ -270,12 +341,20 @@ class TuningWorkerPool:
         return account
 
     def _check_failure(self, account=None) -> None:
+        # The failure stays sticky: a second drain()/stop() must keep
+        # failing until clear_failure() -- silently reporting success
+        # after a fatal worker death was a real bug (ISSUE 8).
         if self._failure is not None:
-            failure, self._failure = self._failure, None
+            failure = self._failure
             error = ConcurrencyError(f"tuning worker died: {failure!r}")
             error.account = account
             error.worker_stats = self.worker_stats()
             raise error from failure
+
+    def clear_failure(self) -> BaseException | None:
+        """Acknowledge and clear a fatal failure; returns it."""
+        failure, self._failure = self._failure, None
+        return failure
 
     # -- windows --------------------------------------------------------
 
@@ -388,15 +467,166 @@ class TuningWorkerPool:
                     return
                 if self._failure is None:
                     self._perform_one(worker_id)
-            except BaseException as exc:  # noqa: BLE001 - reported at drain
-                self._failure = exc
+            except BaseException as exc:  # noqa: BLE001 - supervised
+                # The thread dies (its loop ends here); the supervisor
+                # decides whether a replacement takes over its slot and
+                # its failed token.
+                self._supervise_crash(worker_id, line, exc)
+                return
             finally:
                 line.task_done()
 
+    # -- supervision ----------------------------------------------------
+
+    def _supervise_crash(
+        self, worker_id: int, line: queue.Queue, error: BaseException
+    ) -> None:
+        """React to a worker death: repair, quarantine, restart.
+
+        Runs on the dying thread, after its latches unwound.  The
+        crashed column's piece state is re-verified (and rebuilt when
+        inconsistent) under the index's exclusive latch before any
+        replacement worker can touch it; repeated killers are
+        dead-lettered; the slot is restarted with capped exponential
+        backoff until its budget runs out, at which point the failure
+        becomes fatal and sticky.
+        """
+        with self._state_lock:
+            state = self._current.pop(worker_id, None)
+        quarantined_all = False
+        if state is not None:
+            self._verify_and_repair(state)
+            with self._state_lock:
+                crashes = self._crashes.get(state.ref, 0) + 1
+                self._crashes[state.ref] = crashes
+                threshold = self.supervisor.quarantine_threshold
+                if crashes >= threshold and state.ref not in self.dead_letter:
+                    self.dead_letter.append(state.ref)
+                    self.crash_log.append(
+                        f"quarantined {state.ref.table}.{state.ref.column} "
+                        f"after {crashes} worker crashes"
+                    )
+                quarantined_all = bool(self.ranking.states()) and all(
+                    s.ref in self.dead_letter
+                    for s in self.ranking.states()
+                )
+        if quarantined_all:
+            self._failure = ConcurrencyError(
+                "every tuning candidate is quarantined "
+                f"(dead letter: {[str(r) for r in self.dead_letter]}); "
+                f"last crash: {error!r}"
+            )
+            self._failure.__cause__ = error
+            return
+        with self._state_lock:
+            restarts = self._restarts.get(worker_id, 0)
+            if restarts >= self.supervisor.max_restarts_per_worker:
+                self._failure = error
+                return
+            self._restarts[worker_id] = restarts + 1
+            self.restarts_total += 1
+        delay = self.supervisor.backoff.delay_s(restarts)
+        if delay > 0:
+            self._sleep(delay)
+        self.crash_log.append(
+            f"worker {worker_id} crashed ({type(error).__name__}: "
+            f"{error}); restart #{restarts + 1}"
+        )
+        # The retry token is enqueued before this thread's task_done
+        # (our caller's finally) so a concurrent drain never observes
+        # the line transiently empty between death and retry.
+        if self._running:
+            self._spawn_worker(worker_id)
+            line.put(None)
+        # Credit whichever fault point the absorbed error came from
+        # (an injected crash carries its point; genuine errors default
+        # to the worker action site).
+        point = getattr(error, "point", None)
+        faults.recovered(
+            point if isinstance(point, str) else "workers.perform",
+            f"worker {worker_id} restarted",
+        )
+
+    def _verify_and_repair(self, state: ColumnTuningState) -> None:
+        """Check the crashed column's invariants; rebuild on damage.
+
+        Holds the whole-index latch so no replacement worker or query
+        sees intermediate state -- the piece is verified and repaired
+        *before* the latch is released, then the fault-free answer path
+        resumes.
+        """
+        access = self.register_index(state.ref, state.index)
+        with access.exclusive():
+            try:
+                state.index.check_invariants()
+            except CrackerError:
+                state.index.rebuild()
+                with self._state_lock:
+                    self.rebuilds_total += 1
+                self.crash_log.append(
+                    f"rebuilt {state.ref.table}.{state.ref.column}: "
+                    "crash left the piece map inconsistent"
+                )
+
+    def _choose_state(self, worker_id: int) -> ColumnTuningState | None:
+        """Pick the next non-quarantined column, or ``None`` when the
+        ranking is exhausted.
+
+        When the policy only ever offers dead-lettered columns there
+        are two distinct situations.  If every *live* (non-quarantined)
+        candidate is already refined, the unrefined work that remains
+        is exactly the quarantined set: the pool has done everything it
+        safely can, which is exhaustion, not failure.  But if a live
+        unrefined candidate exists that the policy refuses to rotate to
+        (the ranked policy re-offering a dead-lettered best column
+        forever), submitted actions would silently become no-ops -- the
+        exact bug class ISSUE 8's satellite fixed for dead workers --
+        so that is a fatal, sticky failure.
+        """
+        with self._policy_lock:
+            states = self.ranking.states()
+            for _ in range(len(states) + 1):
+                state = self.policy.choose(self.ranking)
+                if state is None:
+                    return None
+                if state.ref not in self.dead_letter:
+                    with self._state_lock:
+                        self._current[worker_id] = state
+                    return state
+            stuck = any(
+                s.ref not in self.dead_letter
+                and not self.ranking.is_refined(s)
+                for s in states
+            )
+        if not stuck:
+            return None
+        self._failure = ConcurrencyError(
+            "every candidate the tuning policy offers is quarantined "
+            f"(dead letter: {[str(r) for r in self.dead_letter]})"
+        )
+        return None
+
+    def supervisor_summary(self) -> dict[str, object]:
+        """JSON-ready account of supervision activity."""
+        with self._state_lock:
+            return {
+                "restarts": self.restarts_total,
+                "rebuilds": self.rebuilds_total,
+                "dead_letter": [
+                    f"{ref.table}.{ref.column}" for ref in self.dead_letter
+                ],
+                "crashes_per_column": {
+                    f"{ref.table}.{ref.column}": count
+                    for ref, count in sorted(
+                        self._crashes.items(), key=lambda kv: str(kv[0])
+                    )
+                },
+                "log": list(self.crash_log),
+            }
+
     def _perform_one(self, worker_id: int) -> None:
         stats = self.stats[worker_id]
-        with self._policy_lock:
-            state = self.policy.choose(self.ranking)
+        state = self._choose_state(worker_id)
         if state is None:
             with self._window_lock:
                 self._window.exhausted = True
@@ -422,6 +652,8 @@ class TuningWorkerPool:
                 window.per_worker[worker_id] = (
                     window.per_worker.get(worker_id, 0) + 1
                 )
+        with self._state_lock:
+            self._current[worker_id] = None
 
     def _perform_action(
         self,
@@ -430,6 +662,7 @@ class TuningWorkerPool:
         access: LatchedCrackerAccess,
     ) -> bool:
         """One auxiliary action under the appropriate latches."""
+        faults.trip("workers.perform")
         return self._tuners[worker_id].perform_latched(access)
 
     def worker_stats(self) -> list[WorkerStats]:

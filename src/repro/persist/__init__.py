@@ -14,6 +14,7 @@ from repro.persist.format import (
     current_generation,
     list_generations,
     prune,
+    quick_verify_manifest,
     read_current_manifest,
     read_manifest,
     verify_manifest,
@@ -26,9 +27,11 @@ from repro.persist.manager import (
     restore_snapshot,
 )
 from repro.persist.snapshot import RestoredState, capture_state
+from repro.persist.verify import BackgroundVerifier
 
 __all__ = [
     "FORMAT_VERSION",
+    "BackgroundVerifier",
     "CheckpointResult",
     "IncrementalCheckpointer",
     "RestoredState",
@@ -37,6 +40,7 @@ __all__ = [
     "current_generation",
     "list_generations",
     "prune",
+    "quick_verify_manifest",
     "read_current_manifest",
     "read_manifest",
     "restore_snapshot",

@@ -42,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.errors import PersistError
 
 #: Bump on any incompatible manifest/layout change.
@@ -252,7 +253,37 @@ def write_generation(
     _fsync_path(pointer_tmp)
     os.replace(pointer_tmp, root / CURRENT_FILE)
     _fsync_path(root)
+    _tamper_published(root, generation, entries)
     return generation
+
+
+def _tamper_published(root: Path, generation: int, entries: dict) -> None:
+    """Apply armed corruption faults to the just-published generation.
+
+    Simulates media failures *after* the write path reported success --
+    torn/bit-flipped array files and a garbage ``CURRENT`` pointer --
+    which is exactly the corruption class the restore walk-back must
+    survive.  No plan armed: zero work.
+    """
+    if faults.active() is None:
+        return
+    if faults.tamper("persist.publish.pointer") is not None:
+        (root / CURRENT_FILE).write_text("gen-garbage\n")
+    fresh = [
+        entry
+        for entry in entries.values()
+        if int(entry["generation"]) == generation
+    ]
+    if not fresh:
+        return
+    # The largest freshly-written file: tearing it is visible to the
+    # structural quick check, flipping a bit lands in the data region
+    # where only a checksum can see it.
+    target = max(fresh, key=lambda e: (int(e["nbytes"]), e["file"]))["file"]
+    if faults.tamper("persist.publish.torn") is not None:
+        faults.tear_file(root / target)
+    if faults.tamper("persist.publish.bitflip") is not None:
+        faults.flip_bit(root / target)
 
 
 def load_array(
@@ -279,6 +310,31 @@ def load_array(
             f"manifest says {entry['dtype']}{tuple(entry['shape'])}"
         )
     return array
+
+
+def quick_verify_manifest(root: Path, manifest: dict) -> None:
+    """Structural integrity check, O(metadata): every referenced file
+    exists and holds at least its array's payload bytes.
+
+    Catches torn (truncated) and missing files without hashing a byte,
+    so it can sit on the restore critical path; bit flips need the
+    full :func:`verify_manifest`.
+
+    Raises:
+        PersistError: on a missing or truncated array file.
+    """
+    root = Path(root)
+    for name, entry in manifest["arrays"].items():
+        path = root / entry["file"]
+        try:
+            size = path.stat().st_size
+        except FileNotFoundError:
+            raise PersistError(f"snapshot array missing: {path}") from None
+        if size < int(entry["nbytes"]):
+            raise PersistError(
+                f"snapshot array {name!r} ({entry['file']}) is torn: "
+                f"{size} bytes on disk < {entry['nbytes']} payload bytes"
+            )
 
 
 def verify_manifest(root: Path, manifest: dict) -> None:

@@ -23,13 +23,22 @@ clock like any other action.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterable
 
-from repro.errors import ConfigError, PersistError
+from repro import faults
+from repro.errors import ConfigError, InjectedFault, PersistError
 from repro.persist.format import (
+    CURRENT_FILE,
+    current_generation,
+    generation_name,
+    list_generations,
     prune,
+    quick_verify_manifest,
     read_current_manifest,
+    read_manifest,
     verify_manifest,
     write_generation,
 )
@@ -38,7 +47,9 @@ from repro.persist.snapshot import (
     capture_state,
     restore_state,
 )
+from repro.persist.verify import BackgroundVerifier
 from repro.simtime.charge import CostCharge
+from repro.util.retry import retry_call
 
 
 @dataclass(slots=True)
@@ -145,9 +156,21 @@ def restore_snapshot(
     root,
     mmap_mode: str = "c",
     cost_model=None,
-    verify: bool = False,
+    verify: bool | str = False,
+    fallback: bool = True,
+    exclude: Iterable[int] = (),
 ) -> RestoredState:
     """Rebuild a database (+ strategy + session) from ``root``.
+
+    The restart path is self-healing: every candidate generation is
+    structurally validated (:func:`~repro.persist.format.
+    quick_verify_manifest` -- catches torn and missing files in
+    O(metadata)), transient restore failures are retried with capped
+    backoff, and when the current generation is corrupt -- a torn
+    array, a garbage ``CURRENT`` pointer, a broken manifest -- the
+    restore *walks back* to the newest older generation that still
+    validates.  A corrupt pointer is repaired in place once a
+    generation restores, so subsequent checkpoints land normally.
 
     Args:
         root: snapshot root directory.
@@ -155,23 +178,97 @@ def restore_snapshot(
             copy-on-write; pass ``None`` to load everything eagerly).
         cost_model: cost model for the rebuilt clock; must match the
             writing side's for virtual time to stay coherent.
-        verify: recompute every array checksum before trusting the
-            snapshot.
+        verify: ``True``/``"eager"`` recomputes every array checksum
+            before trusting the snapshot (a full data scan; corrupt
+            generations join the walk-back); ``"lazy"`` starts a
+            :class:`~repro.persist.verify.BackgroundVerifier` instead
+            and keeps restore O(metadata) -- check
+            ``restored.verifier`` and, on failure, re-restore with the
+            bad generation in ``exclude``.
+        fallback: walk back to older generations when the newest is
+            corrupt; ``False`` restores ``CURRENT`` or dies.
+        exclude: generation numbers to skip (e.g. one a lazy verifier
+            has since proven bit-rotted).
 
     Raises:
-        PersistError: when no generation was ever published, or the
-            snapshot fails validation.
+        PersistError: when no generation was ever published, or every
+            candidate generation fails validation.
     """
     root = Path(root)
-    generation, manifest = read_current_manifest(root)
-    if verify:
-        verify_manifest(root, manifest)
-    return restore_state(
-        root,
-        generation,
-        manifest,
-        mmap_mode=mmap_mode,
-        cost_model=cost_model,
+    excluded = frozenset(int(g) for g in exclude)
+    pointer_error: PersistError | None = None
+    try:
+        current = current_generation(root)
+    except PersistError as error:
+        pointer_error = error
+        current = None
+    candidates: list[int] = []
+    if current is not None and current not in excluded:
+        candidates.append(current)
+    if fallback:
+        for generation in reversed(list_generations(root)):
+            if generation not in candidates and generation not in excluded:
+                candidates.append(generation)
+    if not candidates:
+        if pointer_error is not None and not fallback:
+            raise pointer_error
+        raise PersistError(
+            f"no restorable snapshot under {root} "
+            f"(excluded: {sorted(excluded) or 'none'})"
+        )
+
+    eager = verify is True or verify == "eager"
+    failed: list[int] = []
+    errors: list[str] = []
+    for generation in candidates:
+        try:
+            manifest = read_manifest(root, generation)
+            quick_verify_manifest(root, manifest)
+            if eager:
+                verify_manifest(root, manifest)
+            retried: list[Exception] = []
+            restored = retry_call(
+                lambda: restore_state(
+                    root,
+                    generation,
+                    manifest,
+                    mmap_mode=mmap_mode,
+                    cost_model=cost_model,
+                ),
+                retry_on=(InjectedFault, OSError),
+                on_retry=lambda attempt, error: retried.append(error),
+            )
+        except (PersistError, InjectedFault, OSError) as error:
+            failed.append(generation)
+            errors.append(f"{generation_name(generation)}: {error}")
+            continue
+        for _ in retried:
+            faults.recovered(
+                "persist.restore",
+                f"restore of {generation_name(generation)} retried",
+            )
+        restored.verification = "eager" if eager else (
+            "lazy" if verify == "lazy" else "none"
+        )
+        restored.fallback_generations = failed
+        if verify == "lazy":
+            restored.verifier = BackgroundVerifier(root, manifest, generation)
+        if pointer_error is not None:
+            # Heal the broken pointer so the next checkpoint publishes
+            # normally (and garbage-collects anything newer).
+            pointer_tmp = root / f"{CURRENT_FILE}.tmp"
+            pointer_tmp.write_text(generation_name(generation) + "\n")
+            os.replace(pointer_tmp, root / CURRENT_FILE)
+        if failed or excluded or pointer_error is not None:
+            faults.recovered_matching(
+                "persist.",
+                f"restored {generation_name(generation)} "
+                f"(skipped: {failed + sorted(excluded) or 'none'})",
+            )
+        return restored
+    raise PersistError(
+        f"every candidate generation under {root} failed to restore: "
+        + "; ".join(errors)
     )
 
 

@@ -26,10 +26,11 @@ better loud than a snapshot that silently drops learned state.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import faults
 from repro.cracking.index import CrackerIndex
 from repro.cracking.piecemap import PieceMap
 from repro.errors import PersistError
@@ -265,6 +266,16 @@ class RestoredState:
     session: object | None
     generation: int
     manifest: dict
+    #: How checksums were verified: ``"eager"`` (before trusting the
+    #: snapshot), ``"lazy"`` (a :class:`~repro.persist.verify.
+    #: BackgroundVerifier` is running -- see :attr:`verifier`) or
+    #: ``"none"``.
+    verification: str = "none"
+    #: Generations that failed validation and were skipped before this
+    #: one restored (the corruption walk-back trail).
+    fallback_generations: list[int] = field(default_factory=list)
+    #: The background checksum verifier when ``verification == "lazy"``.
+    verifier: object | None = None
 
     @property
     def extra(self) -> dict | None:
@@ -298,6 +309,9 @@ def restore_state(
         PersistError: on structural corruption (missing arrays,
             mismatched lengths, unknown strategy).
     """
+    # Transient IO failures surface here, before any state is built;
+    # repro.persist.manager.restore_snapshot retries this whole call.
+    faults.trip("persist.restore")
     meta = manifest["meta"]
     entries = manifest["arrays"]
 

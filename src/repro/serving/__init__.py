@@ -8,6 +8,7 @@ response-time accounting bit-for-bit identical to running alone.
 """
 
 from repro.serving.frontend import (
+    ClientFault,
     ClientLane,
     ServingFrontend,
     ServingReport,
@@ -19,6 +20,7 @@ from repro.serving.window import (
 )
 
 __all__ = [
+    "ClientFault",
     "ClientLane",
     "CrossSessionWindowFormer",
     "OpenLoopWindowFormer",

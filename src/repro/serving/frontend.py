@@ -44,6 +44,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.cracking.batch import DetachedCrackReplay
 from repro.cracking.tape import CrackTape
 from repro.engine.operators import PendingWindow
@@ -51,14 +52,18 @@ from repro.engine.plan import ColumnWindow, group_by_column
 from repro.engine.query import RangeQuery
 from repro.engine.session import QueryRecord, SessionReport
 from repro.engine.strategies import AdaptiveStrategy, IndexingStrategy
-from repro.errors import ConfigError, QueryError
+from repro.errors import ConfigError
 from repro.holistic.kernel import HolisticKernel
 from repro.serving.window import CrossSessionWindowFormer, WindowEntry
 from repro.simtime.accounting import make_accountant
 from repro.simtime.clock import SimClock
 from repro.storage.catalog import ColumnRef
 from repro.storage.database import Database
-from repro.storage.views import SelectionResult
+from repro.storage.views import (
+    MaterializedResult,
+    PositionsView,
+    SelectionResult,
+)
 
 
 class ClientLane:
@@ -95,6 +100,26 @@ class ClientLane:
 
 
 @dataclass(slots=True)
+class ClientFault:
+    """One client failure the front-end isolated and survived.
+
+    ``kind`` is ``"malformed"`` (the query itself was invalid -- e.g.
+    an inverted range smuggled past :class:`RangeQuery` validation) or
+    ``"poison"`` (the query's replay blew up mid-window).  ``action``
+    records the degraded-mode step that answered it: ``"rejected"``
+    (empty result, no accounting), ``"retried_solo"`` (second replay
+    attempt succeeded) or ``"scan_fallback"`` (answered by a direct
+    base-column scan, bypassing the index entirely).
+    """
+
+    client: str
+    query: RangeQuery
+    kind: str
+    action: str
+    error: str = ""
+
+
+@dataclass(slots=True)
 class ServingReport:
     """Aggregate outcome of one serving run."""
 
@@ -105,6 +130,9 @@ class ServingReport:
     #: Wall seconds per window, aligned with ``window_sizes`` (only
     #: populated by :meth:`ServingFrontend.run`).
     window_wall_s: list[float] = field(default_factory=list)
+    #: Client failures isolated in degraded mode (aliases the
+    #: front-end's cumulative list).
+    faults: list[ClientFault] = field(default_factory=list)
 
     @property
     def total_queries(self) -> int:
@@ -181,6 +209,9 @@ class ServingFrontend:
         #: their fresh bounds here.
         self._positions: dict[tuple[str, str], dict[float, int]] = {}
         self.windows_served = 0
+        #: Client failures isolated in degraded mode, across every
+        #: window this front-end has served.
+        self.faults: list[ClientFault] = []
 
     # -- clients ---------------------------------------------------------
 
@@ -237,6 +268,7 @@ class ServingFrontend:
             clients={
                 name: lane.report for name, lane in self.lanes.items()
             },
+            faults=self.faults,
         )
         while True:
             entries = self.former.next_window()
@@ -259,10 +291,15 @@ class ServingFrontend:
         workers race), then each client's slice of the window replays
         on its own lane in stream order.
 
+        Degraded mode: a malformed entry (inverted range smuggled past
+        :class:`RangeQuery` validation) is rejected *per entry* -- it
+        gets an empty result and a :class:`ClientFault`, and never
+        touches the shared index, so every other client in the window
+        is served exactly as if the bad entry had not existed.
+
         Raises:
-            QueryError: for an inverted range (before any physical
-                work, so the shared index is never half-advanced).
-            ConfigError: for an entry from an unregistered client.
+            ConfigError: for an entry from an unregistered client (a
+                caller bug, not a client fault).
         """
         if not entries:
             return []
@@ -271,19 +308,46 @@ class ServingFrontend:
                 raise ConfigError(
                     f"window entry from unknown client {entry.client!r}"
                 )
+        results: list[SelectionResult | None] = [None] * len(entries)
+        live: list[int] = []
+        for i, entry in enumerate(entries):
+            query = entry.query
+            if query.low > query.high:
+                column = self.db.catalog.column(query.ref)
+                self.faults.append(
+                    ClientFault(
+                        client=entry.client,
+                        query=query,
+                        kind="malformed",
+                        action="rejected",
+                        error=(
+                            f"range inverted: low={query.low} > "
+                            f"high={query.high}"
+                        ),
+                    )
+                )
+                results[i] = MaterializedResult(
+                    np.empty(0, dtype=column.values.dtype)
+                )
+            else:
+                live.append(i)
+        if live:
+            served = self._serve_entries([entries[i] for i in live])
+            for slot, result in zip(live, served):
+                results[slot] = result
+        self.windows_served += 1
+        return results  # type: ignore[return-value]
+
+    def _serve_entries(
+        self, entries: list[WindowEntry]
+    ) -> list[SelectionResult]:
+        """The physical pass + replay for a window's valid entries."""
         queries = [entry.query for entry in entries]
         windows = group_by_column(queries)
-        # Resolve every column and validate every range before the
-        # first crack: a bad window entry must fail with the shared
-        # index untouched.
+        # Resolve every column before the first crack: an unknown
+        # column must fail with the shared index untouched.
         for window in windows:
             self.db.catalog.column(window.ref)
-            if np.any(window.lows > window.highs):
-                slot = int(np.argmax(window.lows > window.highs))
-                raise QueryError(
-                    f"range inverted: low={window.lows[slot]} > "
-                    f"high={window.highs[slot]}"
-                )
         pool = getattr(self.strategy, "worker_pool", None)
         if pool is not None and not pool.is_running:
             pool = None
@@ -302,13 +366,78 @@ class ServingFrontend:
                 fresh = index.crack_bounds_batch(window.lows, window.highs)
                 self._positions.setdefault(key, {}).update(fresh)
             results = self._replay_window(entries, windows, indexes)
-        self.windows_served += 1
         return results
 
     def _index_for(self, ref: ColumnRef):
         if self._holistic:
             return self.strategy.index_for(ref)
         return self.strategy._index_for(ref)
+
+    # -- degraded mode ---------------------------------------------------
+
+    @staticmethod
+    def _replay_once(
+        replay: DetachedCrackReplay, query: RangeQuery, holistic: bool
+    ) -> SelectionResult:
+        faults.trip("serving.replay")
+        if holistic:
+            return replay.replay(query.low, query.high)
+        return replay.replay_query(query.low, query.high)
+
+    def _replay_entry(
+        self,
+        client: str,
+        key: tuple[str, str],
+        query: RangeQuery,
+        replay: DetachedCrackReplay,
+        holistic: bool,
+    ) -> SelectionResult:
+        """Replay one entry, surviving a poison query.
+
+        A failed replay is retried once solo; if the retry also blows
+        up, the query is answered by :meth:`_scan_fallback` off the
+        base column.  Either way the incident is recorded as a
+        :class:`ClientFault` and only this client's accounting can
+        deviate -- the injected trip fires *before* the replay touches
+        any state, so healthy clients (and the clean path) stay
+        bit-identical to solo.
+        """
+        try:
+            return self._replay_once(replay, query, holistic)
+        except Exception as exc:
+            error = exc
+        try:
+            result = self._replay_once(replay, query, holistic)
+            action = "retried_solo"
+        except Exception as exc:
+            result = self._scan_fallback(key, query)
+            action = "scan_fallback"
+            error = exc
+        self.faults.append(
+            ClientFault(
+                client=client,
+                query=query,
+                kind="poison",
+                action=action,
+                error=str(error),
+            )
+        )
+        faults.recovered_matching(
+            "serving.replay", f"client {client!r}: {action}"
+        )
+        return result
+
+    def _scan_fallback(
+        self, key: tuple[str, str], query: RangeQuery
+    ) -> SelectionResult:
+        """Answer a query straight off the base column, bypassing the
+        index -- the degraded-mode path of last resort.  Pending
+        updates are merged by the caller exactly as for a crack
+        result."""
+        column = self.db.catalog.column(ColumnRef(key[0], key[1]))
+        values = column.values
+        mask = (values >= query.low) & (values < query.high)
+        return PositionsView(values, np.flatnonzero(mask))
 
     def _replay_window(
         self,
@@ -374,9 +503,9 @@ class ServingFrontend:
                     noted[0].append(query.low)
                     noted[1].append(query.high)
                     noted[2].append(accountant.now)
-                    result = replay.replay(query.low, query.high)
-                else:
-                    result = replay.replay_query(query.low, query.high)
+                result = self._replay_entry(
+                    name, key, query, replay, holistic
+                )
                 slotted = pending_slots[i]
                 if slotted is not None:
                     result = slotted[0].apply(slotted[1], result, accountant)

@@ -1,5 +1,6 @@
-"""Shared utilities (interval sets, misc helpers)."""
+"""Shared utilities (interval sets, retry/backoff, misc helpers)."""
 
 from repro.util.intervals import IntervalSet
+from repro.util.retry import BackoffPolicy, retry_call
 
-__all__ = ["IntervalSet"]
+__all__ = ["BackoffPolicy", "IntervalSet", "retry_call"]

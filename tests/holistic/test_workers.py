@@ -339,7 +339,11 @@ def test_drain_failure_reports_stats_without_account():
         assert excinfo.value.account is None
         assert len(excinfo.value.worker_stats) == 2
     finally:
-        pool.stop()
+        # The failure is sticky: stop() keeps raising until it is
+        # explicitly acknowledged (see test_failure_is_sticky_*).
+        with pytest.raises(ConcurrencyError):
+            pool.stop()
+        assert pool.clear_failure() is not None
 
 
 # -- session-level background tuning ------------------------------------
