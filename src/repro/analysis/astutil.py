@@ -1,0 +1,129 @@
+"""Shared AST plumbing for the lint rules and the lock-order analyzer."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def build_parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent map for the whole tree."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully dotted origin, from the module's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    perf_counter as pc`` maps ``pc -> time.perf_counter``.  Only
+    top-of-tree imports matter for the rules (function-local imports
+    are walked too -- ast.walk sees them).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                    if alias.asname
+                    else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call_name(
+    func: ast.AST, aliases: dict[str, str]
+) -> str | None:
+    """Fully dotted origin of a call target, through import aliases.
+
+    ``np.random.default_rng`` with ``np -> numpy`` resolves to
+    ``numpy.random.default_rng``; unresolvable shapes (calls on call
+    results, subscripts) return ``None``.
+    """
+    name = dotted_name(func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = aliases.get(head)
+    if origin is None:
+        return name
+    return f"{origin}.{rest}" if rest else origin
+
+
+def statement_blocks(tree: ast.AST) -> Iterator[list[ast.stmt]]:
+    """Every list of statements in the tree (bodies, orelse, finally)."""
+    for node in ast.walk(tree):
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            if (
+                isinstance(block, list)
+                and block
+                and isinstance(block[0], ast.stmt)
+            ):
+                yield block
+
+
+def enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The nearest function definition containing ``node``."""
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def call_has_no_side_effects(stmt: ast.stmt) -> bool:
+    """Whether a statement is safe to sit between acquire and try.
+
+    Safe means it cannot raise on the acquire-protection path: plain
+    assignments and annotations whose right side contains no calls,
+    awaits, subscripts or comprehensions, plus docstring expressions.
+    """
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        value = stmt.value
+        if value is None:
+            return True
+        return not any(
+            isinstance(
+                inner,
+                (
+                    ast.Call,
+                    ast.Await,
+                    ast.Subscript,
+                    ast.ListComp,
+                    ast.SetComp,
+                    ast.DictComp,
+                    ast.GeneratorExp,
+                ),
+            )
+            for inner in ast.walk(value)
+        )
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return True
+    return isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal))

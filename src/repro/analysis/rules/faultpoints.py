@@ -1,0 +1,172 @@
+"""fault-coverage: trip/tamper sites and the registry must agree.
+
+The fault plane only injects at names registered in
+``repro.faults.plan.FAULT_POINTS`` (tamper variants additionally in
+``TAMPER_POINTS``); a typo at a call site silently never fires, and a
+registered point nobody trips is dead configuration that the chaos
+bench believes it is exercising.  Both directions are checked:
+
+* every ``faults.trip(...)`` / ``faults.tamper(...)`` /
+  ``faults.recovered(...)`` call must pass a string literal naming a
+  registered point (non-literal names are flagged as unverifiable);
+* every registered point must have at least one call site somewhere in
+  the linted tree (reported against its registry line in ``plan.py``
+  via :func:`finalize`).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.analysis.astutil import import_aliases, resolve_call_name
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.lint import LintContext
+    from repro.analysis.source import SourceFile
+
+RULE_ID = "fault-coverage"
+
+_SITE_NAMES = ("trip", "tamper", "recovered")
+
+
+def parse_registry(
+    plan_path: Path,
+) -> tuple[dict[str, int], set[str]]:
+    """(FAULT_POINTS name -> registry line, TAMPER_POINTS names) parsed
+    statically from ``plan.py`` -- no import, so the rule works even on
+    a tree that does not load."""
+    tree = ast.parse(plan_path.read_text(encoding="utf-8"))
+    points: dict[str, int] = {}
+    tampers: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            names = {
+                target.id
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            }
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            names = {node.target.id}
+        else:
+            continue
+        if node.value is None:
+            continue
+        if "FAULT_POINTS" in names and isinstance(node.value, ast.Dict):
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    points[key.value] = key.lineno
+        if "TAMPER_POINTS" in names:
+            for inner in ast.walk(node.value):
+                if isinstance(inner, ast.Constant) and isinstance(
+                    inner.value, str
+                ):
+                    tampers.add(inner.value)
+    return points, tampers
+
+
+def _site_kind(resolved: str | None, node: ast.Call) -> str | None:
+    """"trip"/"tamper"/"recovered" when this call is a fault-plane
+    site, else None."""
+    if resolved is None:
+        return None
+    for kind in _SITE_NAMES:
+        if resolved == f"repro.faults.{kind}" or resolved.endswith(
+            f"faults.{kind}"
+        ):
+            return kind
+    return None
+
+
+def check(src: "SourceFile", ctx: "LintContext") -> list[Finding]:
+    if not ctx.fault_points:
+        return []
+    aliases = import_aliases(src.tree)
+    findings: list[Finding] = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kind = _site_kind(resolve_call_name(node.func, aliases), node)
+        if kind is None:
+            continue
+        if not node.args or not (
+            isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=str(src.path),
+                    line=node.lineno,
+                    message=(
+                        f"faults.{kind}() called with a non-literal "
+                        "point name; the registry cross-check cannot "
+                        "verify it"
+                    ),
+                )
+            )
+            continue
+        name = node.args[0].value
+        ctx.used_fault_points.add(name)
+        if name not in ctx.fault_points:
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=str(src.path),
+                    line=node.lineno,
+                    message=(
+                        f"faults.{kind}({name!r}) names a point that is "
+                        "not registered in faults.plan.FAULT_POINTS; it "
+                        "will never fire"
+                    ),
+                )
+            )
+        elif kind == "tamper" and name not in ctx.tamper_points:
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=str(src.path),
+                    line=node.lineno,
+                    message=(
+                        f"faults.tamper({name!r}) targets a point not in "
+                        "TAMPER_POINTS; tamper plans cannot arm it"
+                    ),
+                )
+            )
+    return findings
+
+
+def finalize(ctx: "LintContext") -> list[Finding]:
+    """Direction two: registered points nobody trips or tampers.
+
+    Only meaningful when the registry itself is part of the linted
+    set -- a single-file lint must not report the rest of the tree's
+    call sites as missing.
+    """
+    if (
+        ctx.plan_path is None
+        or str(ctx.plan_path) not in ctx.sources_by_path
+    ):
+        return []
+    findings: list[Finding] = []
+    for name, line in sorted(ctx.fault_points.items()):
+        if name in ctx.used_fault_points:
+            continue
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                path=str(ctx.plan_path) if ctx.plan_path else "plan.py",
+                line=line,
+                message=(
+                    f"fault point {name!r} is registered but has no "
+                    "trip/tamper call site in the linted tree"
+                ),
+            )
+        )
+    return findings

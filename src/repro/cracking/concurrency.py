@@ -39,16 +39,17 @@ latch-level concurrency into the paper's multi-core time accounting.
 from __future__ import annotations
 
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator
 
 from repro import faults
+from repro.analysis import witness
 from repro.cracking.index import CrackerIndex
 from repro.cracking.piece import CrackOrigin
 from repro.errors import ConcurrencyError, ConfigError, LatchTimeout
+from repro.simtime.clock import wall_now
 from repro.storage.views import RangeView, SelectionResult
 
 
@@ -200,12 +201,17 @@ class ConcurrentCrackScheduler:
                     query.rounds_waited += 1
                     report.deferrals += 1
                     deferred.append(query)
-            # Phase 2: granted queries execute (and restructure).
-            for query in granted:
-                query.result = self.index.select_range(query.low, query.high)
-                report.executed += 1
-            for query in granted:
-                self.latches.release_all(query.client)
+            # Phase 2: granted queries execute (and restructure).  The
+            # latches drop in a finally so a select that raises (e.g.
+            # an injected fault) cannot strand its grants and wedge
+            # every later round.
+            try:
+                for query in granted:
+                    query.result = self.index.select_range(query.low, query.high)
+                    report.executed += 1
+            finally:
+                for query in granted:
+                    self.latches.release_all(query.client)
             pending = deferred
         for query in queries:
             report.per_client_waits[query.client] = (
@@ -229,23 +235,37 @@ class ReadWriteLatch:
     about.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        witness_group: str | None = None,
+        witness_key: int | str | None = None,
+    ) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer = False
+        #: Lock-class tag for the latch witness (see
+        #: :mod:`repro.analysis.witness`); ``None`` reads as untagged.
+        self.witness_group = witness_group
+        self.witness_key = witness_key
 
     def acquire_read(self, timeout_s: float | None = None) -> bool:
         with self._cond:
             stalled = self._writer
             deadline = (
-                None if timeout_s is None else time.monotonic() + timeout_s
+                None if timeout_s is None else wall_now() + timeout_s
             )
             while self._writer:
                 self._wait(deadline, "read")
             self._readers += 1
-            return stalled
+        w = witness.active()
+        if w is not None:
+            w.note_acquire(self, "r")
+        return stalled
 
     def release_read(self) -> None:
+        w = witness.active()
+        if w is not None:
+            w.note_release(self, "r")
         with self._cond:
             self._readers -= 1
             if self._readers == 0:
@@ -255,12 +275,15 @@ class ReadWriteLatch:
         with self._cond:
             stalled = self._writer or self._readers > 0
             deadline = (
-                None if timeout_s is None else time.monotonic() + timeout_s
+                None if timeout_s is None else wall_now() + timeout_s
             )
             while self._writer or self._readers > 0:
                 self._wait(deadline, "write")
             self._writer = True
-            return stalled
+        w = witness.active()
+        if w is not None:
+            w.note_acquire(self, "w")
+        return stalled
 
     def _wait(self, deadline: float | None, mode: str) -> None:
         """One condition wait bounded by ``deadline``.
@@ -272,13 +295,16 @@ class ReadWriteLatch:
         if deadline is None:
             self._cond.wait()
             return
-        remaining = deadline - time.monotonic()
+        remaining = deadline - wall_now()
         if remaining <= 0 or not self._cond.wait(remaining):
             raise LatchTimeout(
                 f"{mode} latch not granted within its timeout"
             )
 
     def release_write(self) -> None:
+        w = witness.active()
+        if w is not None:
+            w.note_release(self, "w")
         with self._cond:
             self._writer = False
             self._cond.notify_all()
@@ -297,7 +323,10 @@ class PieceLatchTable:
     """
 
     def __init__(
-        self, granularity: int = 1, acquire_timeout_s: float | None = None
+        self,
+        granularity: int = 1,
+        acquire_timeout_s: float | None = None,
+        witness_key: int | str | None = None,
     ) -> None:
         if granularity < 1:
             raise ConfigError(
@@ -316,7 +345,14 @@ class PieceLatchTable:
         self.acquire_timeout_s = acquire_timeout_s
         self._latches: dict[int, ReadWriteLatch] = {}
         self._mutex = threading.Lock()
-        self._table = ReadWriteLatch()
+        #: Table latches of *different* indexes may stack (the serving
+        #: frontend excludes workers from every column of a window at
+        #: once); the witness key orders those acquisitions, so owners
+        #: that stack tables must sort by it.
+        self.witness_key = witness_key
+        self._table = ReadWriteLatch(
+            witness_group="latch.table", witness_key=witness_key
+        )
         self.stats = LatchStats()
 
     def key_for(self, position: int) -> int:
@@ -327,7 +363,9 @@ class PieceLatchTable:
         with self._mutex:
             latch = self._latches.get(key)
             if latch is None:
-                latch = ReadWriteLatch()
+                latch = ReadWriteLatch(
+                    witness_group="latch.piece", witness_key=key
+                )
                 self._latches[key] = latch
             return latch
 
@@ -373,15 +411,17 @@ class PieceLatchTable:
     def read_piece(self, key: int) -> Iterator[bool]:
         """Read-latch one bucket; yields True if the acquisition stalled."""
         stalled = self._table.acquire_read()
-        latch = self._latch(key)
-        stalled = latch.acquire_read() or stalled
         try:
-            yield self._note(stalled)
+            latch = self._latch(key)
+            stalled = latch.acquire_read() or stalled
+            try:
+                yield self._note(stalled)
+            finally:
+                latch.release_read()
+                with self._mutex:
+                    self.stats.releases += 1
         finally:
-            latch.release_read()
             self._table.release_read()
-            with self._mutex:
-                self.stats.releases += 1
 
     @contextmanager
     def exclusive(self) -> Iterator[bool]:

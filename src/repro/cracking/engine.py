@@ -37,12 +37,18 @@ half of the paper's "multiple tuning actions in one go".
 
 from __future__ import annotations
 
+import math
 import threading
 
 import numpy as np
 
 from repro.errors import CrackerError
 from repro.simtime.charge import CostCharge
+
+#: First float at/above any int64 (2^63 is exactly representable).
+_INT64_MAX_F = 2.0**63
+#: int64 min, exactly representable as a float.
+_INT64_MIN_F = -(2.0**63)
 
 #: Pieces at/above this many rows evaluate their classification mask
 #: into a reusable scratch buffer instead of allocating a fresh one.
@@ -107,11 +113,46 @@ def _count_below(
 ) -> int:
     """Number of elements ``< pivot`` (scratch mask above the threshold
     so large pieces never allocate a fresh mask)."""
+    if view.dtype.kind == "i":
+        # Exact integer key: an integer v satisfies ``v < pivot`` iff
+        # ``v < ceil(pivot)``.  Comparing against the float pivot
+        # directly would promote the piece to float64, rounding values
+        # beyond 2^53 onto the pivot and miscounting the split.
+        if pivot != pivot:  # NaN compares below nothing
+            return 0
+        if pivot >= _INT64_MAX_F:
+            return view.size
+        if pivot < _INT64_MIN_F:
+            return 0
+        pivot = math.ceil(pivot)
     if view.size >= CHUNK_THRESHOLD:
         mask = scratch.get("mask", view.size, np.dtype(bool))[: view.size]
         np.less(view, pivot, out=mask)
         return int(np.count_nonzero(mask))
     return int(np.count_nonzero(view < pivot))
+
+
+def _less_mask(
+    view: np.ndarray,
+    keys: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Elementwise ``view < keys`` with exact integer semantics.
+
+    ``keys`` is float64, element-aligned with ``view``.  Integer views
+    compare against ``ceil(keys)`` as int64 (see :func:`_count_below`);
+    NaN keys match nothing and keys beyond the int64 range saturate.
+    """
+    if view.dtype.kind != "i":
+        return np.less(view, keys, out=out)
+    keys = np.ceil(keys)
+    none = ~(keys > _INT64_MIN_F)  # NaN keys land here too
+    alln = keys >= _INT64_MAX_F
+    safe = np.where(none | alln, 0.0, keys).astype(np.int64)
+    mask = np.less(view, safe, out=out)
+    mask[none] = False
+    mask[alln] = True
+    return mask
 
 
 def _apply_permutation(
@@ -347,7 +388,7 @@ def crack_in_two_batch(
     pivot_vector = np.repeat(
         np.array([tasks[t][2] for t in small], dtype=np.float64), sizes
     )
-    mask_all = gathered[:total] < pivot_vector
+    mask_all = _less_mask(gathered[:total], pivot_vector)
     for slot, task_index in enumerate(small):
         start, end, pivot = tasks[task_index]
         size = end - start
@@ -457,8 +498,8 @@ def crack_spans_batch(
     high_vector = np.repeat(
         np.array([tasks[t][3] for t in small], dtype=np.float64), sizes
     )
-    below_low = view < low_vector
-    below_high = view < high_vector
+    below_low = _less_mask(view, low_vector)
+    below_high = _less_mask(view, high_vector)
     # dtype matters: np.add over booleans is logical-or, so the counts
     # must accumulate into an integer type.
     n_low = np.add.reduceat(below_low, offsets[:-1], dtype=np.int64)
@@ -504,7 +545,9 @@ def crack_multi(
     _check_bounds(array, start, end)
     if not pivots:
         return [], CostCharge()
-    if any(a >= b for a, b in zip(pivots, pivots[1:])):
+    if any(p != p for p in pivots) or any(
+        a >= b for a, b in zip(pivots, pivots[1:])
+    ):
         raise CrackerError(
             f"pivots must be strictly increasing: {pivots}"
         )
@@ -542,7 +585,20 @@ def crack_multi(
             stack.append((cut, hi, mid + 1, last))
         return splits, charge
     keys = np.asarray(pivots, dtype=np.float64)
-    bins = np.searchsorted(keys, view, side="right")
+    if view.dtype.kind == "i":
+        # Exact integer search keys (see _count_below): searching the
+        # float pivots directly would promote the piece to float64 and
+        # round values beyond 2^53 onto the pivots.  A pivot above the
+        # int64 range owns an empty segment at the end; one below sits
+        # ahead of every element.
+        ceiled = np.ceil(keys)
+        low_saturated = int(np.count_nonzero(ceiled <= _INT64_MIN_F))
+        mid = ceiled[(ceiled > _INT64_MIN_F) & (ceiled < _INT64_MAX_F)]
+        bins = low_saturated + np.searchsorted(
+            mid.astype(np.int64), view, side="right"
+        )
+    else:
+        bins = np.searchsorted(keys, view, side="right")
     order = np.argsort(bins, kind="stable")
     permuted = scratch.get("multi_values", size, view.dtype)
     np.take(view, order, out=permuted[:size])
@@ -598,6 +654,20 @@ def split_sorted_piece(
         CrackerError: on invalid bounds.
     """
     _check_bounds(array, start, end)
-    offset = int(np.searchsorted(array[start:end], pivot, side="left"))
+    view = array[start:end]
+    if array.dtype.kind == "i":
+        # Exact integer key (see _count_below): ``v >= pivot`` iff
+        # ``v >= ceil(pivot)`` for integer v; NaN and out-of-range
+        # pivots resolve without touching the data.
+        if pivot != pivot or pivot >= _INT64_MAX_F:
+            offset = end - start
+        elif pivot < _INT64_MIN_F:
+            offset = 0
+        else:
+            offset = int(
+                np.searchsorted(view, math.ceil(pivot), side="left")
+            )
+    else:
+        offset = int(np.searchsorted(view, pivot, side="left"))  # repro: allow[dtype-promotion] -- this branch is the non-integer store; float-vs-float probes are exact
     charge = CostCharge.for_binary_search(max(1, end - start))
     return start + offset, charge

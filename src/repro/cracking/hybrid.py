@@ -26,6 +26,7 @@ from repro.errors import ConfigError, QueryError
 from repro.simtime.charge import CostCharge
 from repro.simtime.clock import Clock, SimClock
 from repro.storage.column import Column
+from repro.storage.updates import exact_range_cuts
 from repro.storage.views import RangeView
 from repro.util.intervals import IntervalSet
 
@@ -129,8 +130,8 @@ class HybridCrackSortIndex:
         gaps = self._coverage.uncovered_parts(low, high)
         if gaps:
             self._merge_gaps(gaps)
-        start = int(np.searchsorted(self._final, low, side="left"))
-        end = int(np.searchsorted(self._final, high, side="left"))
+        start = int(exact_range_cuts(self._final, low))
+        end = int(exact_range_cuts(self._final, high))
         self.clock.charge(
             CostCharge.for_binary_search(max(1, len(self._final)))
             + CostCharge.for_binary_search(max(1, len(self._final)))

@@ -45,6 +45,7 @@ from repro.cracking.engine import (
     sort_piece,
     split_sorted_piece,
 )
+from repro.analysis import witness
 from repro.cracking.piece import CrackOrigin, Piece
 from repro.cracking.piecemap import PieceMap
 from repro.cracking.tape import CrackTape
@@ -52,6 +53,7 @@ from repro.errors import CrackerError, QueryError
 from repro.simtime.charge import CostCharge
 from repro.simtime.clock import Clock, SimClock
 from repro.storage.column import Column
+from repro.storage.updates import exact_range_cuts
 from repro.storage.views import RangeView
 
 _INT32_MIN = -(2**31)
@@ -321,6 +323,8 @@ class CrackerIndex:
         lookup only.
         """
         index, start, end, is_sorted, at_pivot = self._pieces.locate(value)
+        if not at_pivot:
+            witness.mutation_check(self, (start,), "ensure_cut")
         return self._cut_located(
             value, index, start, end, is_sorted, at_pivot, origin
         )
@@ -378,6 +382,13 @@ class CrackerIndex:
         pieces = self._pieces
         positions, by_piece = self._locate_fresh(values)
         if by_piece:
+            witness.mutation_check(
+                self,
+                lambda: [
+                    pieces.piece_at_index(i).start for i in by_piece
+                ],
+                "ensure_cuts",
+            )
             self._charge_copy_if_needed()
             # Physically partition every single-pivot unsorted piece in
             # one batched kernel call.  The pieces are pairwise
@@ -460,10 +471,9 @@ class CrackerIndex:
         remainder ``[previous_cut, end)``, so the i-th charge prices a
         search over that remainder, not the whole piece.
         """
-        offsets = np.searchsorted(
+        offsets = exact_range_cuts(
             self._array[piece.start : piece.end],
             np.asarray(group, dtype=np.float64),
-            side="left",
         )
         previous = piece.start
         for value, offset in zip(group, offsets):
@@ -503,6 +513,11 @@ class CrackerIndex:
         pieces = self._pieces
         low_loc = pieces.locate(low)
         high_loc = pieces.locate(high)
+        witness.mutation_check(
+            self,
+            lambda: [loc[1] for loc in (low_loc, high_loc) if not loc[4]],
+            "select_range",
+        )
         low_index, start, end, low_sorted, low_pivot = low_loc
         if (
             low_index == high_loc[0]
@@ -673,6 +688,10 @@ class CrackerIndex:
         fresh_mask = ~at_pivot
         if not np.any(fresh_mask):
             return positions
+        # Batched passes crack many pieces across the whole column, so
+        # their concurrency contract is the table-level exclusive latch
+        # (what the serving front-end holds), not per-piece latches.
+        witness.mutation_check(self, None, "batched crack pass")
         # The replay emits the one-off copy charge at its first crack
         # event, exactly where sequential execution would have; the
         # flag flips here so later foreground cracks do not re-charge.
@@ -698,10 +717,8 @@ class CrackerIndex:
             lo, hi = group_bounds[g], group_bounds[g + 1]
             start, end = fresh_starts[lo], fresh_ends[lo]
             if fresh_sorted[lo]:
-                offsets = np.searchsorted(
-                    self._array[start:end],
-                    fresh_values[lo:hi],
-                    side="left",
+                offsets = exact_range_cuts(
+                    self._array[start:end], fresh_values[lo:hi]
                 )
                 fresh_positions[lo:hi] = start + offsets
             elif hi - lo == 1:
@@ -794,6 +811,7 @@ class CrackerIndex:
             return None
         if end - start <= min_piece_size:
             return None
+        witness.mutation_check(self, (start,), "random_crack")
         return self._cut_located(
             value, index, start, end, is_sorted, at_pivot, origin
         )
@@ -830,6 +848,7 @@ class CrackerIndex:
         """
         piece = self._pieces.piece_at_index(piece_index)
         if not piece.is_sorted:
+            witness.mutation_check(self, (piece.start,), "sort_piece_at")
             self._charge_copy_if_needed()
             charge = sort_piece(
                 self._array, piece.start, piece.end, self._rowids
@@ -848,7 +867,6 @@ class CrackerIndex:
     # -- validation ------------------------------------------------------
 
     @_synchronized
-    @_synchronized
     def rebuild(self) -> None:
         """Reset to a fresh, trivially-valid single-piece state.
 
@@ -861,6 +879,7 @@ class CrackerIndex:
         copy is charged to the clock like any first-touch
         materialization.
         """
+        witness.mutation_check(self, None, "rebuild")
         self._array = self._materialize_values(self.column, True)
         rows = self.column.row_count
         if self._rowids is not None:

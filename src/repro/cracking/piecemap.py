@@ -470,7 +470,7 @@ class PieceMap:
                 violates the piece-ordering invariants.
         """
         k = self._k
-        i = int(np.searchsorted(self._pivots[:k], pivot, side="left"))
+        i = int(np.searchsorted(self._pivots[:k], pivot, side="left"))  # repro: allow[dtype-promotion] -- the pivot ledger is float64 by construction; no int64 haystack here
         if i < k and self._pivots[i] == pivot:
             raise CrackerError(f"pivot {pivot!r} already recorded")
         self.add_crack_at(i, pivot, position)

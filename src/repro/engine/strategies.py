@@ -31,6 +31,7 @@ from repro.online.epoch import EpochManager
 from repro.online.monitor import WorkloadMonitor
 from repro.online.soft_index import SoftIndexManager
 from repro.storage.database import Database
+from repro.storage.updates import exact_range_cuts
 from repro.storage.views import PositionsView, SelectionResult
 
 
@@ -164,8 +165,8 @@ class _ScanBatchExecution:
             values, order, sorted_values = strategy._sorted_projection(
                 window.ref, column
             )
-            lo = np.searchsorted(sorted_values, window.lows, side="left")
-            hi = np.searchsorted(sorted_values, window.highs, side="left")
+            lo = exact_range_cuts(sorted_values, window.lows)
+            hi = exact_range_cuts(sorted_values, window.highs)
             for slot, i in enumerate(window.indices):
                 self._contexts[i] = (values, order, int(lo[slot]), int(hi[slot]))
 

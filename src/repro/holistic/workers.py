@@ -36,10 +36,10 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from dataclasses import dataclass, field
 
 from repro import faults
+from repro.analysis import witness
 from repro.cracking.concurrency import LatchedCrackerAccess, PieceLatchTable
 from repro.cracking.index import CrackerIndex
 from repro.cracking.tape import CrackTape
@@ -48,7 +48,7 @@ from repro.holistic.policies import TuningPolicy
 from repro.holistic.ranking import ColumnRanking, ColumnTuningState
 from repro.holistic.scheduler import TuningReport
 from repro.holistic.tuner import ActionKind, AuxiliaryTuner
-from repro.simtime.clock import Clock
+from repro.simtime.clock import Clock, wall_sleep
 from repro.storage.catalog import ColumnRef
 from repro.util.retry import BackoffPolicy
 
@@ -183,7 +183,7 @@ class TuningWorkerPool:
         #: workers are quarantined (dead-lettered) after their piece
         #: state is verified and, if inconsistent, rebuilt.
         self.supervisor = SupervisorPolicy()
-        self._sleep = time.sleep  # injectable for deterministic tests
+        self._sleep = wall_sleep  # injectable for deterministic tests
         self._state_lock = threading.Lock()
         self._restarts: dict[int, int] = {}
         self._crashes: dict[ColumnRef, int] = {}
@@ -206,9 +206,14 @@ class TuningWorkerPool:
         with self._access_lock:
             access = self._accesses.get(ref)
             if access is None:
-                table = PieceLatchTable(self.latch_granularity)
+                table = PieceLatchTable(
+                    self.latch_granularity,
+                    witness_key=f"{ref.table}.{ref.column}",
+                )
                 access = LatchedCrackerAccess(index, table)
                 self._accesses[ref] = access
+            if self._running:
+                witness.arm(access.index, access.table)
             return access
 
     def access_for(self, ref: ColumnRef) -> LatchedCrackerAccess | None:
@@ -235,6 +240,11 @@ class TuningWorkerPool:
         self._idents = {}
         self._restarts = {}
         self._running = True
+        with self._access_lock:
+            # Latch-sanitizer scope: while workers race these indexes,
+            # every mutation must arrive under its covering latch.
+            for access in self._accesses.values():
+                witness.arm(access.index, access.table)
         for worker_id in range(self.num_workers):
             self._spawn_worker(worker_id)
 
@@ -330,6 +340,9 @@ class TuningWorkerPool:
         for worker_id, line in enumerate(self._queues):
             self._join_line(worker_id, line)
         self._running = False
+        with self._access_lock:
+            for access in self._accesses.values():
+                witness.disarm(access.index)
         account = None
         if hasattr(self.clock, "end_parallel"):
             account = self.clock.end_parallel()
@@ -542,7 +555,8 @@ class TuningWorkerPool:
         # (an injected crash carries its point; genuine errors default
         # to the worker action site).
         point = getattr(error, "point", None)
-        faults.recovered(
+        faults.recovered(  # repro: allow[fault-coverage] -- dynamic credit: the name travels on the injected error, and every value it can carry is a registered literal at its trip site
+
             point if isinstance(point, str) else "workers.perform",
             f"worker {worker_id} restarted",
         )

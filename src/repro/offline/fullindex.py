@@ -14,6 +14,7 @@ from repro.errors import IndexingError, QueryError
 from repro.simtime.charge import CostCharge
 from repro.simtime.clock import Clock, SimClock
 from repro.storage.column import Column
+from repro.storage.updates import exact_range_cuts
 from repro.storage.views import RangeView
 
 
@@ -98,8 +99,8 @@ class FullIndex:
         if low > high:
             raise QueryError(f"range inverted: low={low} > high={high}")
         values = self.sorted_values
-        start = int(np.searchsorted(values, low, side="left"))
-        end = int(np.searchsorted(values, high, side="left"))
+        start = int(exact_range_cuts(values, low))
+        end = int(exact_range_cuts(values, high))
         # Price the probes at the *projected* index depth: a reduced-
         # scale run stands in for a paper-scale index, and log2(n)
         # would otherwise leak the physical scale into the timings.

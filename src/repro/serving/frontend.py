@@ -37,7 +37,6 @@ a run; stage updates between runs, as the benchmarks do.
 
 from __future__ import annotations
 
-import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -56,7 +55,7 @@ from repro.errors import ConfigError
 from repro.holistic.kernel import HolisticKernel
 from repro.serving.window import CrossSessionWindowFormer, WindowEntry
 from repro.simtime.accounting import make_accountant
-from repro.simtime.clock import SimClock
+from repro.simtime.clock import SimClock, wall_now
 from repro.storage.catalog import ColumnRef
 from repro.storage.database import Database
 from repro.storage.views import (
@@ -274,9 +273,9 @@ class ServingFrontend:
             entries = self.former.next_window()
             if not entries:
                 break
-            started = time.perf_counter()
+            started = wall_now()
             self.serve_window(entries)
-            report.window_wall_s.append(time.perf_counter() - started)
+            report.window_wall_s.append(wall_now() - started)
             report.window_sizes.append(len(entries))
             report.windows += 1
         return report
@@ -354,16 +353,25 @@ class ServingFrontend:
         with ExitStack() as latches:
             indexes = {}
             for window in windows:
-                key = (window.ref.table, window.ref.column)
-                index = self._index_for(window.ref)
-                indexes[key] = index
-                if pool is not None:
-                    # Workers are racing: exclude them from this
-                    # window's columns for the whole window, so their
-                    # cracks land between windows, never mid-replay.
-                    access = pool.register_index(window.ref, index)
+                indexes[(window.ref.table, window.ref.column)] = (
+                    self._index_for(window.ref)
+                )
+            if pool is not None:
+                # Workers are racing: exclude them from every one of
+                # this window's columns for the whole window, so their
+                # cracks land between windows, never mid-replay.  The
+                # table latches stack in sorted column order -- the
+                # deterministic order the latch witness enforces.
+                for key in sorted(indexes):
+                    access = pool.register_index(
+                        ColumnRef(*key), indexes[key]
+                    )
                     latches.enter_context(access.exclusive())
-                fresh = index.crack_bounds_batch(window.lows, window.highs)
+            for window in windows:
+                key = (window.ref.table, window.ref.column)
+                fresh = indexes[key].crack_bounds_batch(
+                    window.lows, window.highs
+                )
                 self._positions.setdefault(key, {}).update(fresh)
             results = self._replay_window(entries, windows, indexes)
         return results

@@ -23,6 +23,10 @@ for batch drivers that do not need a timestamp per action.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime only
+    from repro.simtime.clock import Clock
 
 
 @dataclass(slots=True)
@@ -190,8 +194,8 @@ class ChargeBatch:
 
     __slots__ = ("clock", "_pending")
 
-    def __init__(self, clock) -> None:
-        self.clock = clock
+    def __init__(self, clock: Clock) -> None:
+        self.clock: Clock = clock
         self._pending = CostCharge()
 
     def add(self, charge: CostCharge) -> None:

@@ -21,11 +21,34 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 from repro.errors import ConfigError
 from repro.simtime.charge import CostCharge
 from repro.simtime.model import CostModel
+
+
+def wall_now() -> float:
+    """Real monotonic seconds -- the sanctioned wall-clock read.
+
+    Charged paths must not read wall time (bit-identical fingerprints
+    depend on it), but a few mechanisms are *about* real time and
+    nothing else: latch-acquisition deadlines, worker idle backoff,
+    serving batch-formation windows.  Those call this helper instead of
+    :func:`time.monotonic` directly, so the determinism linter
+    (:mod:`repro.analysis.rules.determinism`) can allow exactly one
+    audited escape hatch and flag every other wall-clock read.
+    """
+    return time.monotonic()  # repro: allow[determinism] -- the one audited wall-time read; callers use it only for real-time bounds (deadlines, backoff), never for charged accounting
+
+
+def wall_sleep(seconds: float) -> None:
+    """Real sleep -- the sanctioned wall-clock blocking wait.
+
+    Counterpart of :func:`wall_now` for worker backoff loops; see its
+    docstring for the contract.
+    """
+    time.sleep(seconds)  # repro: allow[determinism] -- the one audited real sleep; used for thread backoff, never on a charged path
 
 
 @dataclass(slots=True)
@@ -223,7 +246,7 @@ class SimClock:
 
     # -- persistence -----------------------------------------------------
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Plain-structure dump of the clock's durable state.
 
         Safe to call while a parallel phase is open: ``_now`` equals the
@@ -239,7 +262,7 @@ class SimClock:
             "lane_seq": self._lane_seq,
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         """Adopt a previously-exported clock state (snapshot restore).
 
         Raises:
@@ -260,12 +283,12 @@ class WallClock:
     """Real-time clock; charges are tallied but do not move time."""
 
     def __init__(self) -> None:
-        self._origin = time.perf_counter()
+        self._origin = time.perf_counter()  # repro: allow[determinism] -- WallClock *is* the wall-time carrier; experiments opt into it explicitly
         self.total_charge = CostCharge()
         self._parallel_start: float | None = None
 
     def now(self) -> float:
-        return time.perf_counter() - self._origin
+        return time.perf_counter() - self._origin  # repro: allow[determinism] -- WallClock is the wall-time carrier
 
     def charge(self, charge: CostCharge) -> float:
         self.total_charge += charge
@@ -274,7 +297,7 @@ class WallClock:
     def sleep(self, seconds: float) -> None:
         if seconds < 0:
             raise ConfigError(f"cannot sleep a negative time: {seconds}")
-        time.sleep(seconds)
+        time.sleep(seconds)  # repro: allow[determinism] -- WallClock is the wall-time carrier
 
     # -- parallel phases: wall time overlaps by itself -------------------
 

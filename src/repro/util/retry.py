@@ -15,11 +15,11 @@ provides it once, with the two properties those callers need:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ConfigError
+from repro.simtime.clock import wall_sleep
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,7 +66,7 @@ def retry_call(
     *,
     policy: BackoffPolicy | None = None,
     retry_on: type[BaseException] | tuple[type[BaseException], ...] = Exception,
-    sleep: Callable[[float], None] = time.sleep,
+    sleep: Callable[[float], None] = wall_sleep,
     on_retry: Callable[[int, BaseException], None] | None = None,
 ):
     """Call ``fn`` under ``policy``, retrying on ``retry_on``.

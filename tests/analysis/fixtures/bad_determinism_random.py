@@ -1,0 +1,13 @@
+"""Known-bad: process-global and unseeded RNG use."""
+
+import random
+
+import numpy as np
+
+
+def pick_pivot(low, high):
+    return random.uniform(low, high)
+
+
+def make_generator():
+    return np.random.default_rng()

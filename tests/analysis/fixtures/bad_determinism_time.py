@@ -1,0 +1,7 @@
+"""Known-bad: ambient wall-clock read in reproducible code."""
+
+import time
+
+
+def stamp_crack(tape, pivot):
+    tape.append((pivot, time.time()))

@@ -1,0 +1,12 @@
+"""Known-bad: float needle probed into a (possibly int64) haystack."""
+
+import numpy as np
+
+
+def locate(store, bound: float):
+    return int(np.searchsorted(store, bound, side="left"))
+
+
+def count_below(store, pivot):
+    needle = float(pivot)
+    return int(np.count_nonzero(np.less(store, needle)))

@@ -1,0 +1,13 @@
+"""Known-bad: fault-plane sites the registry does not know about."""
+
+from repro import faults
+
+
+def perform(action):
+    faults.trip("workers.prform")  # typo: never fires
+    action()
+
+
+def publish(blob):
+    faults.tamper("persist.restore", blob)  # registered, but not a tamper point
+    return blob

@@ -1,0 +1,10 @@
+"""Known-bad: work between acquire and try leaks on a raise."""
+
+
+def leaky_gap(latch, pieces):
+    latch.acquire_write()
+    pieces.refresh()  # raises -> the write latch is never released
+    try:
+        return pieces.scan()
+    finally:
+        latch.release_write()

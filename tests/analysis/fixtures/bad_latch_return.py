@@ -1,0 +1,10 @@
+"""Known-bad: early return escapes without releasing the latch."""
+
+
+def leaky_return(latch, pieces, key):
+    stalled = latch.acquire_read()
+    if key not in pieces:
+        return None  # read latch leaks on this path
+    result = pieces[key]
+    latch.release_read()
+    return result, stalled

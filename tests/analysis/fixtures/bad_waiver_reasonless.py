@@ -1,0 +1,7 @@
+"""Known-bad: a waiver pragma without its mandatory reason."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: allow[determinism]
